@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark reproduces one table or figure.  Simulation runs are
+memoized inside :mod:`repro.harness.experiments`, so the expensive sweep
+is paid once per session no matter how many figures consume it.
+
+By default the benchmarks run the full paper grid (all six datasets,
+both GPU systems).  Set ``REPRO_BENCH_QUICK=1`` to sweep a three-dataset
+subset — useful while iterating.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+#: Dataset subset used when REPRO_BENCH_QUICK=1.
+QUICK_DATASETS = ("delaunay", "human", "kron")
+
+
+@pytest.fixture(scope="session")
+def sweep_kwargs():
+    """Keyword arguments selecting the benchmark grid."""
+    if QUICK:
+        return {"datasets": QUICK_DATASETS}
+    return {}
+
+
+@pytest.fixture(scope="session")
+def bench_datasets():
+    from repro.graph.datasets import DATASET_NAMES
+
+    return QUICK_DATASETS if QUICK else DATASET_NAMES
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    Simulation experiments are deterministic and expensive; statistical
+    repetition would only re-read memoized results.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

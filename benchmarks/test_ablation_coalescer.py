@@ -1,0 +1,47 @@
+"""Ablation — SCU coalescing-unit merge window (Table 1).
+
+The coalescing unit merges same-sector requests within a bounded
+window.  Sequential compaction walks merge perfectly already at the
+paper's 4-request window; the sweep shows where the knee sits for the
+ragged CSR gathers.
+"""
+
+import numpy as np
+
+from repro.core.ops import expanded_indices
+from repro.graph import load_dataset
+from repro.mem import coalesce_stream
+
+from .conftest import run_once
+
+WINDOWS = (1, 2, 4, 8, 16)
+
+
+def test_ablation_merge_window(benchmark):
+    graph = load_dataset("kron")
+    # The expansion gather's address stream for a large frontier.
+    frontier = np.unique(np.random.default_rng(3).choice(graph.num_nodes, 4096))
+    gather = expanded_indices(graph.offsets[frontier], graph.out_degrees[frontier])
+    addresses = gather * 4
+
+    def sweep():
+        return {
+            w: coalesce_stream(addresses, merge_window=w).transactions
+            for w in WINDOWS
+        }
+
+    transactions = run_once(benchmark, sweep)
+    print()
+    print("== ablation: SCU merge window on the CSR expansion gather ==")
+    for w in WINDOWS:
+        factor = addresses.size / transactions[w]
+        print(f"  window={w:2d}: {transactions[w]:8d} transactions "
+              f"({factor:.2f} accesses/transaction)")
+    ordered = [transactions[w] for w in WINDOWS]
+    # Wider windows never increase traffic.
+    assert ordered == sorted(ordered, reverse=True)
+    # The knee: window 8 (one 32B sector of 4B elements) captures almost
+    # everything a window of 16 does.
+    assert transactions[8] <= transactions[16] * 1.05
+    # But window 1 (no merging) pays heavily on contiguous runs.
+    assert transactions[1] > 2 * transactions[8]

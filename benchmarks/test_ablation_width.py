@@ -1,0 +1,51 @@
+"""Ablation — SCU pipeline width (Table 2's first scalability knob).
+
+The paper picks width 1 for the TX1 and width 4 for the GTX980; this
+sweep shows why: wider pipelines keep helping until the unit becomes
+memory-bound, while area grows linearly per lane.
+"""
+
+import pytest
+
+from repro.algorithms import SystemMode, run_algorithm
+from repro.core import SCU_CONFIGS
+from repro.graph import load_dataset
+
+from .conftest import run_once
+
+WIDTHS = (1, 2, 4, 8)
+
+
+@pytest.mark.parametrize("gpu", ["TX1", "GTX980"])
+def test_ablation_pipeline_width(benchmark, gpu):
+    graph = load_dataset("kron")
+
+    def sweep():
+        times, areas = {}, {}
+        for width in WIDTHS:
+            config = SCU_CONFIGS[gpu].with_pipeline_width(width)
+            _, report, _ = run_algorithm(
+                "bfs", graph, gpu, SystemMode.SCU_ENHANCED, scu_config=config
+            )
+            times[width] = report.time_s()
+            areas[width] = config.area_mm2
+        return times, areas
+
+    times, areas = run_once(benchmark, sweep)
+    print()
+    print(f"== ablation: SCU pipeline width (BFS on kron, {gpu}) ==")
+    for width in WIDTHS:
+        print(
+            f"  width={width}:  time={times[width] * 1e3:8.3f} ms"
+            f"  area={areas[width]:6.2f} mm2"
+        )
+    # Wider never slower (monotone until memory-bound saturation).
+    ordered = [times[w] for w in WIDTHS]
+    for narrow, wide in zip(ordered, ordered[1:]):
+        assert wide <= narrow * 1.02
+    # Diminishing returns: 1->2 helps more than 4->8.
+    gain_low = times[1] / times[2]
+    gain_high = times[4] / times[8]
+    assert gain_low >= gain_high * 0.98
+    # Area is linear in lanes, so width 8 costs over 5x width 1.
+    assert areas[8] > 5 * areas[1]

@@ -1,0 +1,30 @@
+"""Figure 10 — normalized execution time of the SCU system."""
+
+from repro.harness import fig10_normalized_time, render_table
+
+from .conftest import run_once
+
+
+def test_fig10_normalized_time(benchmark, sweep_kwargs):
+    result = run_once(benchmark, fig10_normalized_time, **sweep_kwargs)
+    print()
+    print(render_table(result))
+    for row in result.rows:
+        algorithm, gpu, dataset, normalized_total, gpu_share, scu_share = row
+        # BFS and SSSP speed up on every dataset and both GPUs.
+        if algorithm in ("bfs", "sssp"):
+            assert normalized_total < 1.0, row
+        # PR sits near 1.0: small gain on TX1, small slowdown on GTX980.
+        if algorithm == "pagerank":
+            assert 0.6 < normalized_total < 1.4, row
+        assert abs((gpu_share + scu_share) - normalized_total) < 1e-6
+
+    def average(algorithm, gpu):
+        vals = [r[3] for r in result.rows if r[0] == algorithm and r[1] == gpu]
+        return sum(vals) / len(vals)
+
+    # TX1 gains more than GTX980 on the traversal primitives (paper:
+    # 2.32x vs 1.37x average speedup).
+    assert average("bfs", "TX1") < average("bfs", "GTX980") + 0.15
+    # PR on GTX980 is the paper's one slowdown case.
+    assert average("pagerank", "GTX980") > 1.0

@@ -1,0 +1,18 @@
+"""Figure 12 — memory-coalescing improvement from the grouping operation."""
+
+from repro.harness import fig12_grouping_coalescing, render_table
+
+from .conftest import run_once
+
+
+def test_fig12_grouping_coalescing(benchmark, sweep_kwargs):
+    result = run_once(benchmark, fig12_grouping_coalescing, **sweep_kwargs)
+    print()
+    print(render_table(result))
+    per_dataset = [r for r in result.rows if r[0] != "AVG"]
+    average = [r for r in result.rows if r[0] == "AVG"][0][1]
+    # Grouping improves coalescing on every dataset (paper Figure 12).
+    for name, pct in per_dataset:
+        assert pct > 0.0, (name, pct)
+    # Paper: 27% average improvement; accept the same order of magnitude.
+    assert 10.0 < average < 60.0

@@ -1,0 +1,37 @@
+"""Table 5 — benchmark dataset characteristics (generated analogs)."""
+
+from repro.graph import graph_stats, load_dataset
+from repro.harness import render_table, table5_datasets
+
+from .conftest import run_once
+
+
+def test_table5_datasets(benchmark, bench_datasets):
+    result = run_once(benchmark, table5_datasets, datasets=bench_datasets)
+    print()
+    print(render_table(result))
+    assert len(result.rows) == len(bench_datasets)
+
+
+def test_dataset_structural_classes(benchmark, bench_datasets):
+    """The analogs preserve the paper datasets' structural character."""
+
+    def collect():
+        return {name: graph_stats(load_dataset(name)) for name in bench_datasets}
+
+    stats = run_once(benchmark, collect)
+    if "human" in stats:
+        # human: extreme average degree (paper: 2214, the densest graph)
+        others = [s.average_degree for n, s in stats.items() if n not in ("human", "msdoor")]
+        assert stats["human"].average_degree > max(others)
+    if "kron" in stats:
+        # kron: heavy-tailed hubs
+        assert stats["kron"].gini_degree > 0.6
+    if "ca" in stats:
+        # ca: near-uniform low degree
+        assert stats["ca"].gini_degree < 0.2
+        assert stats["ca"].average_degree < 6
+    if "msdoor" in stats:
+        # msdoor: dense regular mesh, degree close to the paper's 97.3
+        assert 70 < stats["msdoor"].average_degree < 125
+        assert stats["msdoor"].gini_degree < 0.3

@@ -1,0 +1,47 @@
+"""Tables 1-4 — configuration artifacts, rendered and self-checked."""
+
+import pytest
+
+from repro.harness import (
+    render_table,
+    table1_scu_parameters,
+    table2_scu_scalability,
+    table3_table4_gpu_parameters,
+)
+
+from .conftest import run_once
+
+
+def test_table1_scu_parameters(benchmark):
+    result = run_once(benchmark, table1_scu_parameters)
+    print()
+    print(render_table(result))
+    rows = dict(result.rows)
+    assert rows["Vector Buffering"] == "5 KB"
+    assert rows["FIFO Requests Buffer"] == "38 KB"
+    assert rows["Hash Request Buffer"] == "18 KB"
+    assert rows["Coalescing Unit"] == "32 in-flight requests, 4-merge"
+
+
+def test_table2_scu_scalability(benchmark):
+    result = run_once(benchmark, table2_scu_scalability)
+    print()
+    print(render_table(result))
+    records = {r[0]: (r[1], r[2]) for r in result.rows}
+    assert records["Pipeline Width"] == ("4 elements/cycle", "1 elements/cycle")
+    assert records["Filtering BFS Hash"][0].startswith("1 MB")
+    assert records["Filtering BFS Hash"][1].startswith("132 KB")
+    assert records["Grouping SSSP Hash"][0].startswith("1.2 MB")
+    assert records["Grouping SSSP Hash"][1].startswith("144 KB")
+
+
+def test_table3_table4_gpu_parameters(benchmark):
+    result = run_once(benchmark, table3_table4_gpu_parameters)
+    print()
+    print(render_table(result))
+    records = {r[0]: (r[1], r[2]) for r in result.rows}
+    assert records["GPU, Frequency"] == ("GTX980, 1.27GHz", "TX1, 1.00GHz")
+    assert "16" in records["Streaming Multiprocessors"][0]
+    assert "2 (256 threads)" in records["Streaming Multiprocessors"][1]
+    assert "GDDR5" in records["Main Memory"][0]
+    assert "LPDDR4" in records["Main Memory"][1]

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Reproduce every table and figure of the paper's evaluation section.
+
+Runs the full experiment grid (3 primitives x 6 datasets x 2 GPU
+systems x 3 system variants) and prints each artifact next to the
+paper's reported numbers.  Takes a couple of minutes; pass ``--quick``
+for a three-dataset subset.
+"""
+
+import sys
+import time
+
+from repro.harness import EXPERIMENTS, render_table, run_experiment
+
+QUICK_DATASETS = ("delaunay", "human", "kron")
+SWEEPING = {"fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "headline"}
+
+
+def main(argv):
+    quick = "--quick" in argv
+    kwargs = {}
+    start = time.time()
+    for experiment_id in EXPERIMENTS:
+        per_experiment = dict(kwargs)
+        if quick and experiment_id in SWEEPING:
+            per_experiment["datasets"] = QUICK_DATASETS
+        result = run_experiment(experiment_id, **per_experiment)
+        print(render_table(result))
+        print()
+    print(f"Reproduced {len(EXPERIMENTS)} artifacts in {time.time() - start:.0f}s.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

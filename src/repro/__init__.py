@@ -1,0 +1,53 @@
+"""repro — reproduction of "SCU: A GPU Stream Compaction Unit for Graph
+Processing" (Segura, Arnau, González; ISCA 2019).
+
+Public surface:
+
+* :mod:`repro.graph` — CSR graphs, the six Table 5 dataset analogs, IO;
+* :mod:`repro.core` — the SCU: five compaction operations, hash-table
+  filtering and grouping, configuration/area/energy models,
+  ``build_system`` to attach one to a simulated GPU;
+* :mod:`repro.gpu` — the GTX 980 / Tegra X1 cost models (Tables 3-4);
+* :mod:`repro.algorithms` — BFS / SSSP / PageRank on three system
+  variants, validated against exact references;
+* :mod:`repro.harness` — drivers regenerating every evaluation artifact.
+"""
+
+from .algorithms import SystemMode, run_algorithm
+from .core import ScuSystem, StreamCompactionUnit, build_system
+from .errors import (
+    ConfigError,
+    ExperimentError,
+    GraphError,
+    OperationError,
+    ReproError,
+    SimulationError,
+)
+from .graph import CsrGraph, load_dataset
+from .harness import run_all, run_experiment
+from .phases import Engine, PhaseKind, PhaseReport, RunReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SystemMode",
+    "run_algorithm",
+    "ScuSystem",
+    "StreamCompactionUnit",
+    "build_system",
+    "CsrGraph",
+    "load_dataset",
+    "run_experiment",
+    "run_all",
+    "Engine",
+    "PhaseKind",
+    "PhaseReport",
+    "RunReport",
+    "ReproError",
+    "GraphError",
+    "ConfigError",
+    "SimulationError",
+    "OperationError",
+    "ExperimentError",
+]

@@ -1,0 +1,48 @@
+"""Graph primitives (BFS, SSSP, PageRank) on the three system variants."""
+
+from .bfs import run_bfs
+from .common import (
+    KERNEL_COSTS,
+    GraphOnDevice,
+    SystemMode,
+    finalize_report,
+    pick_source,
+    warp_cull,
+)
+from .connected_components import (
+    connected_components_reference,
+    run_connected_components,
+)
+from .pagerank import run_pagerank
+from .reference import UNREACHED, bfs_reference, pagerank_reference, sssp_reference
+from .runner import (
+    ALGORITHM_NAMES,
+    ALGORITHMS,
+    cached_run,
+    clear_run_cache,
+    run_algorithm,
+)
+from .sssp import run_sssp
+
+__all__ = [
+    "SystemMode",
+    "run_bfs",
+    "run_sssp",
+    "run_pagerank",
+    "run_connected_components",
+    "connected_components_reference",
+    "run_algorithm",
+    "cached_run",
+    "clear_run_cache",
+    "ALGORITHMS",
+    "ALGORITHM_NAMES",
+    "bfs_reference",
+    "sssp_reference",
+    "pagerank_reference",
+    "UNREACHED",
+    "warp_cull",
+    "pick_source",
+    "GraphOnDevice",
+    "finalize_report",
+    "KERNEL_COSTS",
+]

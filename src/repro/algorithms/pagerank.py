@@ -1,0 +1,170 @@
+"""PageRank — Geil et al.'s four-phase formulation (Section 2.3).
+
+Every iteration touches all nodes and edges: expansion builds the edge
+and weight (rank-contribution) frontiers, rank-update atomically
+accumulates contributions per destination, dampening applies the factor,
+and the convergence check compares against the previous iteration.
+
+The SCU offloads only the expansion's stream compaction (Algorithm 3);
+filtering and grouping do not apply (Section 4.6: all nodes stay active
+and the access pattern is already regular), so the enhanced variant is
+the basic one.  On the GTX980 the paper reports a small *slowdown* —
+the SCU's sequential pipeline cannot beat 16 SMs at an already-regular
+gather — while the TX1 still gains slightly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api import ScuSystem
+from ..core.ops import expanded_indices
+from ..errors import SimulationError
+from ..gpu.kernel import KernelSpec
+from ..graph.csr import CsrGraph
+from ..phases import PhaseKind, RunReport
+from .common import (
+    COMPACTION_MEMORY_EFFICIENCY,
+    compaction_sync_overhead_s,
+    KERNEL_COSTS,
+    SCAN_OVERHEAD_PER_ELEMENT,
+    GraphOnDevice,
+    SystemMode,
+    finalize_report,
+)
+
+#: The paper's dampening constant role; 0.15 in the score formulation
+#: ``score = alpha + (1 - alpha) * incoming``.
+DEFAULT_ALPHA = 0.15
+
+
+def run_pagerank(
+    graph: CsrGraph,
+    system: ScuSystem,
+    mode: SystemMode,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    epsilon: float = 1e-4,
+    max_iterations: int = 60,
+) -> tuple[np.ndarray, RunReport]:
+    """Run PageRank; returns (scores, phase-level cost report)."""
+    if mode is not SystemMode.GPU and not system.has_scu:
+        raise SimulationError(f"mode {mode.value} requires a system with an SCU")
+    if not 0.0 < alpha < 1.0:
+        raise SimulationError(f"alpha must be in (0, 1), got {alpha}")
+
+    dev = GraphOnDevice.place(graph, system, np.float64(1.0))
+    ranks = dev.node_data.values
+
+    report = RunReport(algorithm="pagerank", system=mode.value, dataset=graph.name)
+    ctx = system.ctx
+    gpu = system.gpu
+
+    n = graph.num_nodes
+    all_nodes = np.arange(n, dtype=np.int64)
+    degrees = graph.out_degrees
+    indexes_dev = ctx.array("pr.indexes", graph.offsets[:-1])
+    count_dev = ctx.array("pr.count", degrees)
+    gather_indices = expanded_indices(graph.offsets[:-1], degrees)
+    prev_ranks_dev = ctx.array("pr.prev", ranks.copy())
+
+    converged = False
+    for _ in range(max_iterations):
+        # ---- expansion preparation (GPU, all modes) ------------------------
+        contributions = np.where(degrees > 0, ranks / np.maximum(degrees, 1), 0.0)
+        contrib_dev = ctx.array("pr.contrib", contributions)
+        prepare = KernelSpec(
+            "pr.expand.prepare",
+            PhaseKind.PROCESSING,
+            threads=n,
+            instructions_per_thread=KERNEL_COSTS["expand.prepare"],
+            extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * n),
+        )
+        prepare.load(dev.offsets.addresses(all_nodes))
+        prepare.load(dev.offsets.addresses(all_nodes + 1))
+        prepare.load(dev.node_data.addresses(all_nodes))
+        prepare.store(contrib_dev.addresses())
+        report.add(gpu.run(prepare))
+
+        ef_values = graph.edges[gather_indices]
+        wf_values = np.repeat(contributions, degrees)
+
+        # ---- expansion gather: the PR compaction workload -------------------
+        if mode is SystemMode.GPU:
+            ef_dev = ctx.array("pr.ef", ef_values)
+            wf_dev = ctx.array("pr.wf", wf_values)
+            gather = KernelSpec(
+                "pr.expand.gather",
+                PhaseKind.COMPACTION,
+                threads=ef_values.size,
+                instructions_per_thread=KERNEL_COSTS["expand.gather"],
+                extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * n),
+                memory_efficiency=COMPACTION_MEMORY_EFFICIENCY,
+                extra_overhead_s=compaction_sync_overhead_s(gpu.config),
+            )
+            gather.load(indexes_dev.addresses())
+            gather.load(count_dev.addresses())
+            gather.load(dev.edges.addresses(gather_indices))
+            gather.load(contrib_dev.addresses())
+            gather.store(ef_dev.addresses())
+            gather.store(wf_dev.addresses())
+            dev.add_scan_traffic(gather, n)
+            report.add(gpu.run(gather))
+        else:  # SCU offload (Algorithm 3): expansion + replication
+            ef_dev, phase = system.scu.access_expansion_compaction(
+                dev.edges, indexes_dev, count_dev, out="pr.ef"
+            )
+            report.add(phase)
+            wf_dev, phase = system.scu.replication_compaction(
+                contrib_dev, count_dev, out="pr.wf"
+            )
+            report.add(phase)
+
+        # ---- rank update (GPU, all modes): atomicAdd per edge ---------------
+        incoming = np.zeros(n, dtype=np.float64)
+        np.add.at(incoming, ef_values, wf_values)
+        update = KernelSpec(
+            "pr.rank_update",
+            PhaseKind.PROCESSING,
+            threads=ef_values.size,
+            instructions_per_thread=KERNEL_COSTS["pr.rank_update"],
+        )
+        update.load(ef_dev.addresses())
+        update.load(wf_dev.addresses())
+        update.atomic(dev.node_data.addresses(np.asarray(ef_dev.values, dtype=np.int64)))
+        report.add(gpu.run(update))
+
+        # ---- dampening (GPU, all modes) --------------------------------------
+        new_ranks = alpha + (1.0 - alpha) * incoming
+        dampen = KernelSpec(
+            "pr.dampen",
+            PhaseKind.PROCESSING,
+            threads=n,
+            instructions_per_thread=KERNEL_COSTS["pr.dampen"],
+        )
+        dampen.load(dev.node_data.addresses(all_nodes))
+        dampen.store(dev.node_data.addresses(all_nodes))
+        report.add(gpu.run(dampen))
+
+        # ---- convergence check (GPU, all modes) ------------------------------
+        delta = float(np.max(np.abs(new_ranks - ranks))) if n else 0.0
+        check = KernelSpec(
+            "pr.convergence",
+            PhaseKind.PROCESSING,
+            threads=n,
+            instructions_per_thread=KERNEL_COSTS["pr.convergence"],
+        )
+        check.load(dev.node_data.addresses(all_nodes))
+        check.load(prev_ranks_dev.addresses(all_nodes))
+        report.add(gpu.run(check))
+
+        ranks[:] = new_ranks
+        if delta < epsilon:
+            converged = True
+            break
+
+    if not converged:
+        raise SimulationError(
+            f"PageRank did not converge within {max_iterations} iterations"
+        )
+    return ranks.copy(), finalize_report(report, system)

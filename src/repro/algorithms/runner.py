@@ -1,0 +1,91 @@
+"""Top-level driver: run any primitive on any system variant.
+
+``run_algorithm`` builds a fresh system (GPU + optional SCU), executes
+the requested primitive, validates nothing here (tests do), and returns
+results plus the :class:`~repro.phases.RunReport` that every experiment
+consumes.  ``cached_run`` memoizes whole runs so one benchmark session
+can assemble all six figures without re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..core.api import PAPER_SCALE, ScuSystem, build_system
+from ..core.config import ScuConfig
+from ..errors import ExperimentError
+from ..graph.csr import CsrGraph
+from ..graph.datasets import load_dataset
+from ..phases import RunReport
+from .bfs import run_bfs
+from .common import SystemMode
+from .connected_components import run_connected_components
+from .pagerank import run_pagerank
+from .sssp import run_sssp
+
+ALGORITHMS: Dict[str, Callable] = {
+    "bfs": run_bfs,
+    "sssp": run_sssp,
+    "pagerank": run_pagerank,
+    # extension primitive, not part of the paper's evaluation grid
+    "connected_components": run_connected_components,
+}
+
+#: Paper ordering of the evaluated primitives (the experiment grid).
+ALGORITHM_NAMES = ("bfs", "sssp", "pagerank")
+
+
+def run_algorithm(
+    algorithm: str,
+    graph: CsrGraph,
+    gpu_name: str,
+    mode: SystemMode,
+    *,
+    scu_config: ScuConfig | None = None,
+    memory_scale: float = PAPER_SCALE,
+    **kwargs,
+) -> tuple[np.ndarray, RunReport, ScuSystem]:
+    """Run one (algorithm, graph, GPU, system-mode) combination.
+
+    ``memory_scale`` defaults to :data:`~repro.core.api.PAPER_SCALE` so
+    experiment runs operate in the paper's working-set regime; pass 1.0
+    to model the true hardware capacities.
+    """
+    if algorithm not in ALGORITHMS:
+        known = ", ".join(ALGORITHMS)
+        raise ExperimentError(f"unknown algorithm {algorithm!r}; known: {known}")
+    system = build_system(
+        gpu_name,
+        with_scu=mode is not SystemMode.GPU,
+        scu_config=scu_config,
+        memory_scale=memory_scale,
+    )
+    result, report = ALGORITHMS[algorithm](graph, system, mode, **kwargs)
+    return result, report, system
+
+
+_RUN_CACHE: Dict[Tuple, RunReport] = {}
+
+
+def cached_run(
+    algorithm: str,
+    dataset: str,
+    gpu_name: str,
+    mode: SystemMode,
+    *,
+    seed: int = 42,
+) -> RunReport:
+    """Memoized run on a registry dataset; returns only the report."""
+    key = (algorithm, dataset, gpu_name, mode, seed)
+    if key not in _RUN_CACHE:
+        graph = load_dataset(dataset, seed=seed)
+        _, report, _ = run_algorithm(algorithm, graph, gpu_name, mode)
+        _RUN_CACHE[key] = report
+    return _RUN_CACHE[key]
+
+
+def clear_run_cache() -> None:
+    """Drop memoized runs (tests use this to bound memory)."""
+    _RUN_CACHE.clear()

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``datasets``                      — list the Table 5 dataset analogs with stats;
+* ``run ALG DATASET``               — run one primitive on one dataset and
+  print the per-system comparison (``--gpu``, ``--source`` options);
+* ``experiment ID``                 — reproduce one paper artifact (``fig9`` ...);
+* ``reproduce``                     — reproduce everything (``--quick`` subset);
+* ``synthesis``                     — per-component SCU area/power report;
+* ``export DIR``                    — reproduce everything and write JSON+CSV;
+* ``info``                          — show the simulated hardware configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .algorithms import ALGORITHMS, SystemMode, run_algorithm
+from .core.config import SCU_CONFIGS
+from .errors import ReproError
+from .gpu.config import GPU_SYSTEMS
+from .graph.analysis import graph_stats
+from .graph.datasets import DATASET_NAMES, DATASETS, load_dataset
+from .core.area import render_synthesis_report
+from .harness import (
+    EXPERIMENTS,
+    export_all,
+    render_key_value,
+    render_table,
+    run_experiment,
+)
+
+QUICK_DATASETS = ("delaunay", "human", "kron")
+
+
+def _cmd_datasets(_args) -> int:
+    print(f"{'name':10s} {'description':34s} {'nodes':>8s} {'edges':>9s} {'avg deg':>8s}")
+    for name in DATASET_NAMES:
+        stats = graph_stats(load_dataset(name))
+        print(
+            f"{name:10s} {DATASETS[name].description:34s} "
+            f"{stats.num_nodes:8d} {stats.num_edges:9d} {stats.average_degree:8.1f}"
+        )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    graph = load_dataset(args.dataset)
+    print(f"{args.algorithm} on {graph} ({args.gpu})")
+    kwargs = {}
+    if args.source is not None and args.algorithm != "pagerank":
+        kwargs["source"] = args.source
+    baseline = None
+    for mode in SystemMode:
+        started = time.time()
+        _, report, _ = run_algorithm(args.algorithm, graph, args.gpu, mode, **kwargs)
+        if baseline is None:
+            baseline = (report.time_s(), report.total_energy_j())
+        print(
+            f"  {mode.value:13s}: {report.time_s() * 1e3:9.3f} ms "
+            f"({baseline[0] / report.time_s():5.2f}x)  "
+            f"{report.total_energy_j() * 1e3:9.3f} mJ "
+            f"({baseline[1] / report.total_energy_j():5.2f}x)  "
+            f"[simulated in {time.time() - started:.1f}s]"
+        )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    kwargs = {}
+    if args.quick and args.id in ("fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "headline"):
+        kwargs["datasets"] = QUICK_DATASETS
+    print(render_table(run_experiment(args.id, **kwargs)))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    for experiment_id in EXPERIMENTS:
+        namespace = argparse.Namespace(id=experiment_id, quick=args.quick)
+        _cmd_experiment(namespace)
+        print()
+    return 0
+
+
+def _cmd_synthesis(_args) -> int:
+    for name in SCU_CONFIGS:
+        print(render_synthesis_report(SCU_CONFIGS[name]))
+        print()
+    return 0
+
+
+def _cmd_export(args) -> int:
+    results = {}
+    for experiment_id in EXPERIMENTS:
+        kwargs = {}
+        if args.quick and experiment_id in (
+            "fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "headline"
+        ):
+            kwargs["datasets"] = QUICK_DATASETS
+        results[experiment_id] = run_experiment(experiment_id, **kwargs)
+    written = export_all(results, args.directory)
+    print(f"wrote {len(written)} files to {args.directory}")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    for name, config in GPU_SYSTEMS.items():
+        print(render_key_value(f"GPU system: {name}", config.describe()))
+        scu = SCU_CONFIGS[name]
+        rows = scu.describe_table1() + scu.describe_table2()
+        rows.append(("Synthesized Area", f"{scu.area_mm2:.2f} mm2"))
+        print(render_key_value(f"SCU for {name}", rows))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SCU (ISCA 2019) reproduction — simulate, run, reproduce.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list dataset analogs").set_defaults(
+        func=_cmd_datasets
+    )
+
+    run_parser = commands.add_parser("run", help="run one primitive")
+    run_parser.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    run_parser.add_argument("dataset", choices=DATASET_NAMES)
+    run_parser.add_argument("--gpu", choices=sorted(GPU_SYSTEMS), default="TX1")
+    run_parser.add_argument("--source", type=int, default=None)
+    run_parser.set_defaults(func=_cmd_run)
+
+    experiment_parser = commands.add_parser(
+        "experiment", help="reproduce one paper artifact"
+    )
+    experiment_parser.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment_parser.add_argument("--quick", action="store_true")
+    experiment_parser.set_defaults(func=_cmd_experiment)
+
+    reproduce_parser = commands.add_parser(
+        "reproduce", help="reproduce every table and figure"
+    )
+    reproduce_parser.add_argument("--quick", action="store_true")
+    reproduce_parser.set_defaults(func=_cmd_reproduce)
+
+    commands.add_parser(
+        "synthesis", help="per-component SCU area/power report"
+    ).set_defaults(func=_cmd_synthesis)
+
+    export_parser = commands.add_parser(
+        "export", help="reproduce everything and write JSON+CSV"
+    )
+    export_parser.add_argument("directory")
+    export_parser.add_argument("--quick", action="store_true")
+    export_parser.set_defaults(func=_cmd_export)
+
+    commands.add_parser("info", help="show hardware configurations").set_defaults(
+        func=_cmd_info
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Per-component SCU area and power breakdown (the synthesis report).
+
+The paper synthesized the SCU in Verilog with Synopsys Design Compiler
+at 32 nm / 0.78 V and used CACTI for the buffers, reporting only the
+totals (13.27 mm2 for the width-4 GTX980 variant, 3.65 mm2 for the
+width-1 TX1 variant).  This module decomposes those totals into the
+Figure 7 components with a simple, documented cost model:
+
+* SRAM buffers cost a fixed area per KB (CACTI-like 32 nm figure);
+* each datapath lane (Address Generator slice, Data Fetch slice,
+  Bitmask Constructor comparator, Data Store slice) costs a fixed area,
+  replicated ``pipeline_width`` times;
+* the coalescing units cost per in-flight entry.
+
+The decomposition is *calibrated*: component constants are chosen so
+the totals reproduce the paper's two synthesis points exactly (the same
+two-point fit as :class:`~repro.core.config.ScuConfig`'s headline area
+model, which tests cross-check).  Power follows the same decomposition
+scaled to the configured active/static totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ScuConfig
+from .energy import scu_static_power_w
+
+#: CACTI-like 32 nm SRAM density for small buffers (mm2 per KB).
+SRAM_MM2_PER_KB = 0.005
+#: One coalescing-unit entry (CAM match + merge bookkeeping).
+COALESCER_MM2_PER_ENTRY = 0.0015
+
+
+@dataclass(frozen=True)
+class ComponentArea:
+    """One row of the synthesis report."""
+
+    component: str
+    area_mm2: float
+    per_lane: bool
+
+    def scaled(self, width: int) -> float:
+        return self.area_mm2 * (width if self.per_lane else 1)
+
+
+def _buffer_area_mm2(config: ScuConfig) -> float:
+    total_kb = (
+        config.vector_buffer_bytes
+        + config.fifo_request_buffer_bytes
+        + config.hash_request_buffer_bytes
+    ) / 1024
+    return total_kb * SRAM_MM2_PER_KB
+
+
+def _coalescer_area_mm2(config: ScuConfig) -> float:
+    # Two coalescing units in the enhanced design (Figure 8).
+    return 2 * config.coalescer_inflight * COALESCER_MM2_PER_ENTRY
+
+
+def area_breakdown(config: ScuConfig) -> list[ComponentArea]:
+    """Decompose the configuration's area into Figure 7/8 components.
+
+    The lane datapath absorbs whatever the fixed parts (buffers,
+    coalescers, control) leave of the calibrated per-lane budget, so
+    the sum reproduces ``config.area_mm2`` exactly.
+    """
+    buffers = _buffer_area_mm2(config)
+    coalescers = _coalescer_area_mm2(config)
+    control = config.AREA_BASE_MM2 - buffers - coalescers
+    # Fixed overheads are part of the width-independent base; the
+    # calibrated per-lane term is split across the four datapath units.
+    lane_total = config.AREA_PER_LANE_MM2
+    shares = {
+        "address generator": 0.20,
+        "data fetch": 0.30,
+        "bitmask constructor": 0.15,
+        "data store": 0.35,
+    }
+    rows = [
+        ComponentArea("buffers (Table 1 SRAM)", buffers, per_lane=False),
+        ComponentArea("coalescing units", coalescers, per_lane=False),
+        ComponentArea("control / misc", control, per_lane=False),
+    ]
+    rows.extend(
+        ComponentArea(f"{name} (per lane)", lane_total * share, per_lane=True)
+        for name, share in shares.items()
+    )
+    return rows
+
+
+def total_area_mm2(config: ScuConfig) -> float:
+    """Sum of the breakdown; equals ``config.area_mm2`` by construction."""
+    return sum(row.scaled(config.pipeline_width) for row in area_breakdown(config))
+
+
+def power_breakdown_w(config: ScuConfig) -> list[tuple[str, float]]:
+    """Static (leakage) power decomposed proportionally to area."""
+    total_static = scu_static_power_w(config)
+    total = total_area_mm2(config)
+    return [
+        (row.component, total_static * row.scaled(config.pipeline_width) / total)
+        for row in area_breakdown(config)
+    ]
+
+
+def render_synthesis_report(config: ScuConfig) -> str:
+    """A human-readable synthesis-style report for one configuration."""
+    lines = [
+        f"SCU synthesis report — {config.name} "
+        f"(32 nm, width {config.pipeline_width})",
+        f"  {'component':28s} {'area (mm2)':>11s} {'leakage (mW)':>13s}",
+    ]
+    powers = dict(power_breakdown_w(config))
+    for row in area_breakdown(config):
+        area = row.scaled(config.pipeline_width)
+        lines.append(
+            f"  {row.component:28s} {area:11.3f} {powers[row.component] * 1e3:13.2f}"
+        )
+    lines.append(
+        f"  {'TOTAL':28s} {total_area_mm2(config):11.2f} "
+        f"{scu_static_power_w(config) * 1e3:13.2f}"
+    )
+    return "\n".join(lines)

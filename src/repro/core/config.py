@@ -1,0 +1,173 @@
+"""SCU hardware configuration — Tables 1 and 2 of the paper.
+
+Table 1 fixes the common hardware parameters (buffers, coalescing unit,
+32 nm technology); Table 2 scales the unit per target GPU: pipeline
+width 4 and megabyte-class hash tables for the GTX 980, width 1 and
+~150 KB hashes for the TX1.  The area model reproduces the paper's
+synthesis results: 13.27 mm2 (GTX980 variant) and 3.65 mm2 (TX1
+variant), i.e. 3.3 % and 4.1 % of the respective die areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class HashTableConfig:
+    """Geometry of one reconfigurable in-memory hash table (Table 2)."""
+
+    name: str
+    capacity_bytes: int
+    ways: int
+    bytes_per_entry: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.bytes_per_entry <= 0 or self.ways <= 0:
+            raise ConfigError(f"hash table {self.name}: parameters must be positive")
+        if self.capacity_bytes % self.bytes_per_entry:
+            raise ConfigError(
+                f"hash table {self.name}: capacity not a multiple of entry size"
+            )
+
+    @property
+    def num_entries(self) -> int:
+        return self.capacity_bytes // self.bytes_per_entry
+
+    def describe(self) -> str:
+        if self.capacity_bytes >= 1024 * 1024:
+            size = f"{self.capacity_bytes / (1024 * 1024):.3g} MB"
+        else:
+            size = f"{self.capacity_bytes // 1024} KB"
+        return f"{size}, {self.ways}-way, {self.bytes_per_entry} bytes/line"
+
+
+@dataclass(frozen=True)
+class ScuConfig:
+    """Full SCU configuration for one target GPU."""
+
+    name: str
+    clock_hz: float  # matched to the host GPU (Section 5)
+    pipeline_width: int  # elements processed per cycle (Table 2)
+    # Table 1 buffers
+    vector_buffer_bytes: int = 5 * 1024
+    fifo_request_buffer_bytes: int = 38 * 1024
+    hash_request_buffer_bytes: int = 18 * 1024
+    coalescer_inflight: int = 32
+    coalescer_merge_window: int = 4
+    # Table 2 hash tables
+    filter_bfs_hash: HashTableConfig = None
+    filter_sssp_hash: HashTableConfig = None
+    grouping_hash: HashTableConfig = None
+    # grouping builds groups of at most this many elements (Section 4.3)
+    group_size: int = 8
+    # operation setup cost: configuring the Address Generator
+    op_setup_s: float = 2e-7
+    # -- energy coefficients (32 nm synthesis analog) --
+    energy_per_element_pj: float = 3.0  # pipeline slot: addr gen + fetch + store
+    energy_per_hash_probe_pj: float = 6.0  # hash lookup logic (table traffic is L2)
+    energy_per_l2_access_pj: float = 120.0
+    #: pipeline active power while an operation streams (width-4 scale;
+    #: scaled by synthesized area like leakage)
+    active_power_w: float = 0.9
+    static_power_w: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.pipeline_width <= 0:
+            raise ConfigError(f"{self.name}: pipeline width must be positive")
+        if self.clock_hz <= 0:
+            raise ConfigError(f"{self.name}: clock must be positive")
+        if self.group_size <= 0:
+            raise ConfigError(f"{self.name}: group size must be positive")
+
+    @property
+    def elements_per_second(self) -> float:
+        return self.pipeline_width * self.clock_hz
+
+    # -- area model -----------------------------------------------------------
+    # Synthesis substitute: a fixed control/buffer base plus a per-lane
+    # datapath term, calibrated to the paper's two synthesized points
+    # (width 1 -> 3.65 mm2, width 4 -> 13.27 mm2 at 32 nm).
+
+    AREA_BASE_MM2 = 0.4433
+    AREA_PER_LANE_MM2 = 3.2067
+
+    @property
+    def area_mm2(self) -> float:
+        return self.AREA_BASE_MM2 + self.AREA_PER_LANE_MM2 * self.pipeline_width
+
+    def area_overhead_fraction(self, gpu_die_area_mm2: float) -> float:
+        if gpu_die_area_mm2 <= 0:
+            raise ConfigError("GPU die area must be positive")
+        return self.area_mm2 / (gpu_die_area_mm2 + self.area_mm2)
+
+    # -- table rendering --------------------------------------------------------
+
+    def describe_table1(self) -> list[tuple[str, str]]:
+        ghz = self.clock_hz / 1e9
+        return [
+            ("Technology, Frequency", f"32 nm, {ghz:g}GHz"),
+            ("Vector Buffering", f"{self.vector_buffer_bytes // 1024} KB"),
+            ("FIFO Requests Buffer", f"{self.fifo_request_buffer_bytes // 1024} KB"),
+            ("Hash Request Buffer", f"{self.hash_request_buffer_bytes // 1024} KB"),
+            (
+                "Coalescing Unit",
+                f"{self.coalescer_inflight} in-flight requests, "
+                f"{self.coalescer_merge_window}-merge",
+            ),
+        ]
+
+    def describe_table2(self) -> list[tuple[str, str]]:
+        return [
+            ("Pipeline Width", f"{self.pipeline_width} elements/cycle"),
+            ("Filtering BFS Hash", self.filter_bfs_hash.describe()),
+            ("Filtering SSSP Hash", self.filter_sssp_hash.describe()),
+            ("Grouping SSSP Hash", self.grouping_hash.describe()),
+        ]
+
+    def with_pipeline_width(self, width: int) -> "ScuConfig":
+        """Design-space variant with a different pipeline width."""
+        return replace(self, pipeline_width=width)
+
+    def with_hash_scale(self, factor: float) -> "ScuConfig":
+        """Design-space variant scaling every hash table by ``factor``."""
+
+        def scale(table: HashTableConfig) -> HashTableConfig:
+            raw = int(table.capacity_bytes * factor)
+            capacity = max(
+                table.bytes_per_entry,
+                (raw // table.bytes_per_entry) * table.bytes_per_entry,
+            )
+            return replace(table, capacity_bytes=capacity)
+
+        return replace(
+            self,
+            filter_bfs_hash=scale(self.filter_bfs_hash),
+            filter_sssp_hash=scale(self.filter_sssp_hash),
+            grouping_hash=scale(self.grouping_hash),
+        )
+
+
+#: Table 2, GTX980 column.
+SCU_GTX980 = ScuConfig(
+    name="SCU-GTX980",
+    clock_hz=1.27e9,
+    pipeline_width=4,
+    filter_bfs_hash=HashTableConfig("filter-bfs", 1024 * 1024, 16, 4),
+    filter_sssp_hash=HashTableConfig("filter-sssp", 1536 * 1024, 16, 8),
+    grouping_hash=HashTableConfig("grouping", 1228 * 1024, 16, 32),
+)
+
+#: Table 2, TX1 column.
+SCU_TX1 = ScuConfig(
+    name="SCU-TX1",
+    clock_hz=1.0e9,
+    pipeline_width=1,
+    filter_bfs_hash=HashTableConfig("filter-bfs", 132 * 1024, 16, 4),
+    filter_sssp_hash=HashTableConfig("filter-sssp", 192 * 1024, 16, 8),
+    grouping_hash=HashTableConfig("grouping", 144 * 1024, 16, 32),
+)
+
+SCU_CONFIGS = {"GTX980": SCU_GTX980, "TX1": SCU_TX1}

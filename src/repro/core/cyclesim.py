@@ -1,0 +1,181 @@
+"""Cycle-level simulation of the SCU pipeline (Figure 7).
+
+The experiments use the analytic throughput model of
+:mod:`repro.core.timing` (``elements / width`` cycles, memory-bounded).
+This module provides the detailed counterpart the paper built in RTL: a
+cycle-driven five-unit pipeline —
+
+``Address Generator -> Data Fetch -> [memory] -> Bitmask Constructor /
+Data Store``
+
+— with finite queues sized from Table 1 (the 5 KB vector buffer in
+front of the Address Generator, the 38 KB FIFO request buffer inside
+Data Fetch) and a fixed memory service latency/bandwidth.  Tests
+validate that the analytic model's operation times track this simulator
+across pipeline-bound and memory-bound regimes, which is exactly the
+role the authors' cycle-accurate simulator played for their results.
+
+The simulation is intentionally structural: it does not recompute
+values (the functional layer does that); it moves abstract element
+tokens through stages and counts cycles and stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError, SimulationError
+from .config import ScuConfig
+
+#: Bytes of buffering one in-flight element consumes in each queue.
+ELEMENT_BYTES = 4
+
+
+@dataclass
+class StageQueue:
+    """A bounded FIFO between two pipeline stages (element counts)."""
+
+    capacity: int
+    occupancy: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigError("queue capacity must be positive")
+
+    @property
+    def full(self) -> bool:
+        return self.occupancy >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return self.occupancy == 0
+
+    def push(self, count: int = 1) -> None:
+        if self.occupancy + count > self.capacity:
+            raise SimulationError("queue overflow")
+        self.occupancy += count
+
+    def pop(self, count: int = 1) -> None:
+        if self.occupancy < count:
+            raise SimulationError("queue underflow")
+        self.occupancy -= count
+
+
+@dataclass(frozen=True)
+class CycleSimResult:
+    """Outcome of streaming one operation through the pipeline."""
+
+    elements: int
+    cycles: int
+    stall_cycles: int
+    peak_fetch_queue: int
+
+    @property
+    def elements_per_cycle(self) -> float:
+        return self.elements / self.cycles if self.cycles else 0.0
+
+    @property
+    def stall_fraction(self) -> float:
+        return self.stall_cycles / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class ScuPipelineSim:
+    """Cycle-driven model of the Figure 7 pipeline.
+
+    Args:
+        config: the SCU configuration (width, Table 1 buffer sizes).
+        memory_latency_cycles: cycles between a fetch issuing and its
+            data returning.
+        memory_bandwidth_elems: elements of data the memory system can
+            deliver per cycle (derived from DRAM bandwidth / clock in
+            the validation tests).
+    """
+
+    config: ScuConfig
+    memory_latency_cycles: int = 80
+    memory_bandwidth_elems: float = 8.0
+    _fetch_queue: StageQueue = field(init=False)
+    _input_queue: StageQueue = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.memory_latency_cycles < 1:
+            raise ConfigError("memory latency must be at least one cycle")
+        if self.memory_bandwidth_elems <= 0:
+            raise ConfigError("memory bandwidth must be positive")
+        self._input_queue = StageQueue(
+            capacity=max(1, self.config.vector_buffer_bytes // ELEMENT_BYTES)
+        )
+        self._fetch_queue = StageQueue(
+            capacity=max(1, self.config.fifo_request_buffer_bytes // ELEMENT_BYTES)
+        )
+
+    def run(self, elements: int) -> CycleSimResult:
+        """Stream ``elements`` through the pipeline; returns cycle counts."""
+        if elements < 0:
+            raise SimulationError("cannot stream a negative element count")
+        if elements == 0:
+            return CycleSimResult(0, 0, 0, 0)
+
+        width = self.config.pipeline_width
+        to_generate = elements  # waiting in the Address Generator
+        in_flight: list[tuple[int, int]] = []  # (ready_cycle, count)
+        returned = 0.0  # fractional element credit delivered by memory
+        stored = 0  # elements retired by Data Store
+        cycle = 0
+        stalls = 0
+        peak_fetch = 0
+
+        while stored < elements:
+            cycle += 1
+            # 1. memory returns data for requests whose latency elapsed,
+            #    at the configured bandwidth.
+            deliverable = self.memory_bandwidth_elems
+            while in_flight and in_flight[0][0] <= cycle and deliverable > 0:
+                ready, count = in_flight[0]
+                take = min(count, int(deliverable)) if deliverable >= 1 else 0
+                if take == 0:
+                    break
+                deliverable -= take
+                returned += take
+                if take == count:
+                    in_flight.pop(0)
+                else:
+                    in_flight[0] = (ready, count - take)
+
+            # 2. Data Store retires up to `width` returned elements.  A
+            #    cycle that cannot retire a full width is (partially)
+            #    stalled on memory.
+            wanted = min(width, elements - stored)
+            retire = min(wanted, int(returned))
+            if retire > 0:
+                stored += retire
+                returned -= retire
+                self._fetch_queue.pop(retire)
+            if retire < wanted:
+                stalls += 1
+
+            # 3. Address Generator issues up to `width` new requests if
+            #    the fetch FIFO has room (back-pressure otherwise).
+            issue = min(width, to_generate)
+            room = self._fetch_queue.capacity - self._fetch_queue.occupancy
+            issue = min(issue, room)
+            if issue > 0:
+                to_generate -= issue
+                self._fetch_queue.push(issue)
+                in_flight.append((cycle + self.memory_latency_cycles, issue))
+            peak_fetch = max(peak_fetch, self._fetch_queue.occupancy)
+
+            if cycle > 100 * self.memory_latency_cycles + 20 * elements:
+                raise SimulationError("pipeline simulation failed to drain")
+
+        return CycleSimResult(
+            elements=elements,
+            cycles=cycle,
+            stall_cycles=stalls,
+            peak_fetch_queue=peak_fetch,
+        )
+
+    def reset(self) -> None:
+        self._fetch_queue.occupancy = 0
+        self._input_queue.occupancy = 0

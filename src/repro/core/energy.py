@@ -1,0 +1,48 @@
+"""SCU energy model (32 nm synthesis analog).
+
+The SCU's headline property is that moving an element through its
+pipeline costs a few picojoules of control and datapath energy, versus
+the tens of picojoules a GPU thread spends per instruction across fetch,
+decode, register file and functional units.  Dynamic energy is:
+
+``E = elements * e_elem + probes * e_probe + trans * e_l2 + E_dram``
+
+Static power (0.25 W at width 4 scale, scaled by area) is charged by the
+runner over the run's makespan, like the GPU's.
+"""
+
+from __future__ import annotations
+
+from ..mem.hierarchy import MemoryHierarchy, MemoryStats
+from .config import ScuConfig
+
+
+def scu_op_dynamic_energy_j(
+    config: ScuConfig,
+    hierarchy: MemoryHierarchy,
+    *,
+    elements: int,
+    memory: MemoryStats,
+    hash_probes: int = 0,
+    busy_time_s: float = 0.0,
+) -> float:
+    """Dynamic energy of one SCU operation, in joules.
+
+    Mirrors the GPU model: per-event energies plus the (small) pipeline
+    active power over the operation's duration.  The SCU's active power
+    is two orders of magnitude below the SM array's — the source of the
+    offload energy win.
+    """
+    pipeline = elements * config.energy_per_element_pj
+    probes = hash_probes * config.energy_per_hash_probe_pj
+    l2 = memory.transactions * config.energy_per_l2_access_pj
+    dram = hierarchy.dram_dynamic_energy_j(memory)
+    reference_area = config.AREA_BASE_MM2 + 4 * config.AREA_PER_LANE_MM2
+    active = config.active_power_w * (config.area_mm2 / reference_area) * busy_time_s
+    return (pipeline + probes + l2) * 1e-12 + dram + active
+
+
+def scu_static_power_w(config: ScuConfig) -> float:
+    """Leakage scales with the synthesized area (lane count dominated)."""
+    reference_area = config.AREA_BASE_MM2 + 4 * config.AREA_PER_LANE_MM2
+    return config.static_power_w * (config.area_mm2 / reference_area)

@@ -1,0 +1,140 @@
+"""Functional semantics of the five SCU compaction operations.
+
+These are the operations of Figure 6 of the paper, implemented exactly
+as the hardware performs them (sequential semantics, vectorized
+execution).  The :class:`~repro.core.unit.StreamCompactionUnit` wraps
+them with the cost model; this module is pure data transformation and is
+independently property-tested.
+
+Comparison operators for the Bitmask Constructor are the six integer
+comparisons the hardware comparator implements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..errors import OperationError
+
+#: Comparison operators available to the Bitmask Constructor.
+COMPARISONS: Mapping[str, Callable[[np.ndarray, float], np.ndarray]] = {
+    "eq": lambda data, ref: data == ref,
+    "ne": lambda data, ref: data != ref,
+    "lt": lambda data, ref: data < ref,
+    "le": lambda data, ref: data <= ref,
+    "gt": lambda data, ref: data > ref,
+    "ge": lambda data, ref: data >= ref,
+}
+
+
+def _as_1d(values: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise OperationError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def _check_mask(bitmask: np.ndarray, length: int, name: str = "bitmask") -> np.ndarray:
+    mask = _as_1d(bitmask, name)
+    if mask.dtype != np.bool_:
+        raise OperationError(f"{name} must be boolean, got dtype {mask.dtype}")
+    if mask.size != length:
+        raise OperationError(f"{name} length {mask.size} != data length {length}")
+    return mask
+
+
+def bitmask_constructor(data: np.ndarray, comparison: str, reference: float) -> np.ndarray:
+    """Generate a bitmask: True where ``data <comparison> reference`` holds."""
+    arr = _as_1d(data, "data")
+    if comparison not in COMPARISONS:
+        known = ", ".join(COMPARISONS)
+        raise OperationError(f"unknown comparison {comparison!r}; supported: {known}")
+    return COMPARISONS[comparison](arr, reference)
+
+
+def data_compaction(data: np.ndarray, bitmask: np.ndarray) -> np.ndarray:
+    """Keep the elements whose bitmask bit is set, preserving order."""
+    arr = _as_1d(data, "data")
+    mask = _check_mask(bitmask, arr.size)
+    return arr[mask]
+
+
+def access_compaction(
+    data: np.ndarray, indexes: np.ndarray, bitmask: np.ndarray
+) -> np.ndarray:
+    """Gather ``data[indexes]`` for the index entries whose bit is set."""
+    arr = _as_1d(data, "data")
+    idx = _as_1d(indexes, "indexes").astype(np.int64)
+    mask = _check_mask(bitmask, idx.size)
+    valid = idx[mask]
+    if valid.size and (valid.min() < 0 or valid.max() >= arr.size):
+        raise OperationError("index out of range in access compaction")
+    return arr[valid]
+
+
+def replication_compaction(
+    data: np.ndarray, count: np.ndarray, bitmask: np.ndarray | None = None
+) -> np.ndarray:
+    """Replicate each valid element ``count[i]`` times, preserving order."""
+    arr = _as_1d(data, "data")
+    cnt = _as_1d(count, "count").astype(np.int64)
+    if cnt.size != arr.size:
+        raise OperationError(f"count length {cnt.size} != data length {arr.size}")
+    if cnt.size and cnt.min() < 0:
+        raise OperationError("replication counts must be non-negative")
+    if bitmask is not None:
+        mask = _check_mask(bitmask, arr.size)
+        arr, cnt = arr[mask], cnt[mask]
+    return np.repeat(arr, cnt)
+
+
+def access_expansion_compaction(
+    data: np.ndarray,
+    indexes: np.ndarray,
+    count: np.ndarray,
+    bitmask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Gather ``count[i]`` consecutive elements starting at ``indexes[i]``.
+
+    This is the CSR adjacency gather: with ``indexes`` the adjacency
+    offsets of frontier nodes and ``count`` their degrees, the output is
+    the edge frontier.
+    """
+    arr = _as_1d(data, "data")
+    idx = _as_1d(indexes, "indexes").astype(np.int64)
+    cnt = _as_1d(count, "count").astype(np.int64)
+    if idx.size != cnt.size:
+        raise OperationError(f"indexes length {idx.size} != count length {cnt.size}")
+    if cnt.size and cnt.min() < 0:
+        raise OperationError("expansion counts must be non-negative")
+    if bitmask is not None:
+        mask = _check_mask(bitmask, idx.size)
+        idx, cnt = idx[mask], cnt[mask]
+    if idx.size == 0:
+        return arr[:0]
+    ends = idx + cnt
+    if idx.min() < 0 or (cnt.size and ends.max() > arr.size):
+        raise OperationError("expansion range out of bounds")
+    return arr[expanded_indices(idx, cnt)]
+
+
+def expanded_indices(indexes: np.ndarray, count: np.ndarray) -> np.ndarray:
+    """Element indices an Access Expansion gathers (vectorized ragged range).
+
+    For ``indexes=[5, 0]``, ``count=[2, 3]`` the result is
+    ``[5, 6, 0, 1, 2]``.  Exposed separately because the cost model needs
+    the gather's *addresses*, not just its values.
+    """
+    idx = np.asarray(indexes, dtype=np.int64)
+    cnt = np.asarray(count, dtype=np.int64)
+    total = int(cnt.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Standard ragged-range construction: cumulative offsets + per-slot base.
+    starts = np.zeros(cnt.size, dtype=np.int64)
+    np.cumsum(cnt[:-1], out=starts[1:])
+    flat = np.arange(total, dtype=np.int64)
+    slot = np.repeat(np.arange(cnt.size, dtype=np.int64), cnt)
+    return idx[slot] + (flat - starts[slot])

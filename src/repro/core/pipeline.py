@@ -1,0 +1,102 @@
+"""Structural model of the SCU hardware pipeline (Figure 7).
+
+The pipeline's five functional units are:
+
+* **Address Generator** — configured per operation; walks the input
+  vectors (data / bitmask / indexes / count) in order;
+* **Data Fetch** — issues the read requests the Address Generator
+  produced, in FIFO order;
+* **Coalescing Unit** — merges reads to the same sector within a small
+  window (Table 1: 32 in-flight, 4-merge);
+* **Bitmask Constructor** — the comparator datapath;
+* **Data Store** — writes results to consecutive addresses, with its own
+  trivial write coalescing.
+
+For the cost model the pipeline is a throughput machine: it moves
+``pipeline_width`` elements per cycle when memory keeps up.  What this
+module contributes is the *memory traffic shape* of each operation —
+which vectors are walked sequentially, which are gathered sparsely —
+expressed as address streams the shared memory hierarchy then prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mem.address_space import DeviceArray
+from ..mem.coalescer import CoalesceResult, coalesce_stream, coalesce_warp
+from ..mem.hierarchy import MemoryHierarchy, MemoryStats
+from .config import ScuConfig
+
+
+@dataclass(frozen=True)
+class ScuStream:
+    """One address stream an SCU operation issues."""
+
+    role: str  # "data", "bitmask", "indexes", "count", "hash", "output"
+    addresses: np.ndarray
+    is_write: bool = False
+    #: hash-table traffic is random by construction; everything else the
+    #: SCU touches is either sequential or a gather the coalescer sees.
+    random_access: bool = False
+
+
+def coalesce_scu_stream(stream: ScuStream, config: ScuConfig) -> CoalesceResult:
+    """Run one stream through the SCU coalescing unit.
+
+    The merge window of Table 1 counts pending *requests*; the Data
+    Fetch unit issues 8-byte beats, so with 4-byte stream elements one
+    window position covers two elements — an effective window of
+    ``2 x merge_window`` elements.  A sequential walk therefore merges
+    into exactly one transaction per 32-byte sector, which is what the
+    Address Generator's stride knowledge achieves in the hardware.
+    Hash-table probes are scattered and almost never merge; they go
+    through the same window and pay full price.
+    """
+    window = 1 if stream.random_access else 2 * config.coalescer_merge_window
+    return coalesce_stream(stream.addresses, merge_window=window)
+
+
+def streams_memory_stats(
+    streams: list[ScuStream], config: ScuConfig, hierarchy: MemoryHierarchy
+) -> tuple[MemoryStats, float]:
+    """Coalesce and price every stream of one operation.
+
+    Returns the merged statistics plus the serialized-drain DRAM time
+    (per-stream sum — the same interleaving argument as the GPU device:
+    random hash probes break the sequential walks' row locality).
+    """
+    total = MemoryStats()
+    dram_s = 0.0
+    for stream in streams:
+        result = coalesce_scu_stream(stream, config)
+        stats = hierarchy.process(result)
+        dram_s += hierarchy.dram_time_s(stats)
+        total = total.merged(stats)
+    return total, dram_s
+
+
+# -- stream builders, one vocabulary shared by all operations ---------------
+
+
+def sequential_read(array: DeviceArray, role: str = "data") -> ScuStream:
+    return ScuStream(role=role, addresses=array.addresses())
+
+
+def bitmask_read(mask_array: DeviceArray) -> ScuStream:
+    """The packed bitmask walk: one 4-byte word per 32 elements."""
+    return ScuStream(role="bitmask", addresses=mask_array.addresses())
+
+
+def gather_read(array: DeviceArray, indices: np.ndarray, role: str = "data") -> ScuStream:
+    return ScuStream(role=role, addresses=array.addresses(indices))
+
+
+def sequential_write(base_addresses: np.ndarray) -> ScuStream:
+    return ScuStream(role="output", addresses=base_addresses, is_write=True)
+
+
+def hash_probe(addresses: np.ndarray) -> ScuStream:
+    return ScuStream(role="hash", addresses=addresses, random_access=True)

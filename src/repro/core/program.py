@@ -1,0 +1,214 @@
+"""SCU operation programs — the "programmable unit" surface.
+
+Section 3 stresses that the SCU is *programmable*: applications compose
+the five generic operations through a simple API.  This module gives
+that composition an explicit representation: an :class:`ScuProgram` is
+a list of operation steps over named buffers, which can be validated,
+printed, and executed against a :class:`~repro.core.unit.
+StreamCompactionUnit`.  The BFS/SSSP/PR offload sequences of
+Algorithms 1-3 are provided as pre-written programs, and tests execute
+them against the hand-rolled implementations.
+
+Buffers are an environment mapping names to
+:class:`~repro.mem.address_space.DeviceArray` objects; each step reads
+its operands from and writes its result back into that environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from ..errors import OperationError
+from ..mem.address_space import DeviceArray
+from ..phases import PhaseReport
+from .unit import StreamCompactionUnit
+
+#: Operation mnemonics and their required operand buffer names.
+OPERATION_SIGNATURES = {
+    "bitmask": ("data",),
+    "data_compaction": ("data", "bitmask"),
+    "access_compaction": ("data", "indexes", "bitmask"),
+    "replication": ("data", "count"),
+    "expansion": ("data", "indexes", "count"),
+    "filter_unique": ("ids",),
+    "filter_best_cost": ("ids", "costs"),
+    "grouping": ("destinations",),
+}
+
+
+@dataclass(frozen=True)
+class ScuStep:
+    """One program step: an operation, operand buffer names, an output name."""
+
+    operation: str
+    operands: Dict[str, str]
+    output: str
+    #: extra keyword parameters (e.g. comparison/reference for bitmask)
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.operation not in OPERATION_SIGNATURES:
+            known = ", ".join(OPERATION_SIGNATURES)
+            raise OperationError(
+                f"unknown SCU operation {self.operation!r}; known: {known}"
+            )
+        required = OPERATION_SIGNATURES[self.operation]
+        missing = [name for name in required if name not in self.operands]
+        if missing:
+            raise OperationError(
+                f"step {self.operation!r} missing operands: {', '.join(missing)}"
+            )
+
+    def describe(self) -> str:
+        operand_list = ", ".join(f"{k}={v}" for k, v in self.operands.items())
+        return f"{self.output} <- {self.operation}({operand_list})"
+
+
+@dataclass
+class ScuProgram:
+    """An ordered sequence of SCU operations over named buffers."""
+
+    name: str
+    steps: list = field(default_factory=list)
+
+    def add(self, operation: str, output: str, **operands_and_params) -> "ScuProgram":
+        """Append a step; unknown keywords become operation parameters."""
+        required = OPERATION_SIGNATURES.get(operation, ())
+        optional = {"reorder", "element_bitmask", "bitmask"}
+        operands = {
+            k: v
+            for k, v in operands_and_params.items()
+            if k in required or k in optional
+        }
+        parameters = {
+            k: v for k, v in operands_and_params.items() if k not in operands
+        }
+        self.steps.append(
+            ScuStep(
+                operation=operation,
+                operands=operands,
+                output=output,
+                parameters=parameters,
+            )
+        )
+        return self
+
+    def validate(self, inputs: Sequence[str]) -> None:
+        """Check that every operand is defined before it is used."""
+        defined = set(inputs)
+        for step in self.steps:
+            for role, buffer_name in step.operands.items():
+                if buffer_name not in defined:
+                    raise OperationError(
+                        f"program {self.name!r}: step {step.describe()} uses "
+                        f"undefined buffer {buffer_name!r}"
+                    )
+            defined.add(step.output)
+
+    def run(
+        self,
+        scu: StreamCompactionUnit,
+        buffers: Dict[str, DeviceArray],
+    ) -> tuple[Dict[str, DeviceArray], list[PhaseReport]]:
+        """Execute the program; returns (final environment, phase reports)."""
+        self.validate(list(buffers))
+        env = dict(buffers)
+        reports: list[PhaseReport] = []
+        for step in self.steps:
+            resolved = {role: env[name] for role, name in step.operands.items()}
+            result, report = self._dispatch(scu, step, resolved)
+            env[step.output] = result
+            reports.append(report)
+        return env, reports
+
+    @staticmethod
+    def _dispatch(scu: StreamCompactionUnit, step: ScuStep, ops: Dict[str, DeviceArray]):
+        params = dict(step.parameters)
+        out = step.output
+        if step.operation == "bitmask":
+            return scu.bitmask_constructor(
+                ops["data"],
+                params.pop("comparison"),
+                params.pop("reference"),
+                out=out,
+            )
+        if step.operation == "data_compaction":
+            return scu.data_compaction(
+                ops["data"], ops["bitmask"], out=out, reorder=ops.get("reorder")
+            )
+        if step.operation == "access_compaction":
+            return scu.access_compaction(
+                ops["data"], ops["indexes"], ops["bitmask"], out=out
+            )
+        if step.operation == "replication":
+            return scu.replication_compaction(
+                ops["data"], ops["count"], ops.get("bitmask"), out=out
+            )
+        if step.operation == "expansion":
+            return scu.access_expansion_compaction(
+                ops["data"],
+                ops["indexes"],
+                ops["count"],
+                ops.get("bitmask"),
+                out=out,
+                element_bitmask=ops.get("element_bitmask"),
+                reorder=ops.get("reorder"),
+            )
+        if step.operation == "filter_unique":
+            return scu.filter_unique_pass(ops["ids"], out=out)
+        if step.operation == "filter_best_cost":
+            return scu.filter_best_cost_pass(ops["ids"], ops["costs"], out=out)
+        if step.operation == "grouping":
+            return scu.grouping_pass(ops["destinations"], out=out, **params)
+        raise OperationError(f"unhandled operation {step.operation!r}")
+
+    def describe(self) -> str:
+        lines = [f"program {self.name}:"]
+        lines.extend(f"  {i}: {step.describe()}" for i, step in enumerate(self.steps))
+        return "\n".join(lines)
+
+
+# -- the paper's offload sequences as programs -------------------------------
+
+
+def bfs_expansion_program() -> ScuProgram:
+    """Algorithm 1's expansion offload: edge-frontier gather."""
+    return ScuProgram("bfs.expansion").add(
+        "expansion", "ef", data="edges", indexes="indexes", count="count"
+    )
+
+
+def bfs_contraction_program() -> ScuProgram:
+    """Algorithm 1's contraction offload: node-frontier compaction."""
+    return ScuProgram("bfs.contraction").add(
+        "data_compaction", "nf", data="ef", bitmask="mask"
+    )
+
+
+def sssp_expansion_program() -> ScuProgram:
+    """Algorithm 2's expansion offload: edge + weight frontiers."""
+    return (
+        ScuProgram("sssp.expansion")
+        .add("expansion", "ef", data="edges", indexes="indexes", count="count")
+        .add("expansion", "ew", data="weights", indexes="indexes", count="count")
+        .add("replication", "wf", data="costs", count="count")
+    )
+
+
+def pr_expansion_program() -> ScuProgram:
+    """Algorithm 3's expansion offload: edge frontier + rank replication."""
+    return (
+        ScuProgram("pr.expansion")
+        .add("expansion", "ef", data="edges", indexes="indexes", count="count")
+        .add("replication", "wf", data="contrib", count="count")
+    )
+
+
+def enhanced_bfs_contraction_program() -> ScuProgram:
+    """Algorithm 4's contraction: filter pass + filtered compaction."""
+    return (
+        ScuProgram("bfs.contraction.enhanced")
+        .add("filter_unique", "filter_mask", ids="ef")
+        .add("data_compaction", "nf", data="ef", bitmask="filter_mask")
+    )

@@ -1,0 +1,68 @@
+"""SCU operation latency model.
+
+An SCU operation is a streaming pass: the pipeline retires
+``pipeline_width`` elements per cycle unless memory stalls it.  Its
+duration is therefore
+
+``max(elements / (width x clock), dram_time, l2_service_time) + setup``
+
+where the memory terms come from the shared hierarchy pricing the
+operation's real address streams.  Unlike a GPU kernel there is no
+launch/occupancy ramp — the unit is dedicated — only the small Address
+Generator configuration cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mem.coalescer import SECTOR_BYTES
+from ..mem.hierarchy import MemoryHierarchy, MemoryStats
+from .config import ScuConfig
+
+#: L2 bandwidth available to the SCU's port on the interconnect. The SCU
+#: is one client of the existing NoC; it cannot out-stream the L2.
+SCU_L2_BANDWIDTH_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class ScuTiming:
+    """Breakdown of one SCU operation's modeled duration."""
+
+    pipeline_s: float
+    l2_s: float
+    dram_s: float
+    setup_s: float
+
+    @property
+    def total_s(self) -> float:
+        return max(self.pipeline_s, self.l2_s, self.dram_s) + self.setup_s
+
+    @property
+    def bottleneck(self) -> str:
+        terms = {"pipeline": self.pipeline_s, "l2": self.l2_s, "dram": self.dram_s}
+        return max(terms, key=terms.get)
+
+
+def scu_op_timing(
+    config: ScuConfig,
+    hierarchy: MemoryHierarchy,
+    *,
+    elements: int,
+    memory: MemoryStats,
+    l2_bandwidth_bps: float,
+    dram_s_override: float | None = None,
+) -> ScuTiming:
+    """Model the duration of one SCU operation."""
+    pipeline_s = elements / config.elements_per_second if elements else 0.0
+    l2_s = (
+        memory.transactions
+        * SECTOR_BYTES
+        / (l2_bandwidth_bps * SCU_L2_BANDWIDTH_FRACTION)
+    )
+    dram_s = (
+        dram_s_override if dram_s_override is not None else hierarchy.dram_time_s(memory)
+    )
+    return ScuTiming(
+        pipeline_s=pipeline_s, l2_s=l2_s, dram_s=dram_s, setup_s=config.op_setup_s
+    )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the SCU reproduction library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed or inconsistent graph data."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when a graph file cannot be parsed."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid hardware or experiment configuration."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation reaches an inconsistent state."""
+
+
+class OperationError(ReproError):
+    """Raised when an SCU operation receives invalid operands."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver cannot produce its artifact."""

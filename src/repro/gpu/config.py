@@ -1,0 +1,146 @@
+"""GPU hardware configurations (Tables 3 and 4 of the paper).
+
+Each :class:`GpuConfig` bundles the microarchitectural parameters the
+timing model needs, the event-energy coefficients the energy model needs
+(the GPUWattch substitute; see DESIGN.md), and the die area used for the
+paper's SCU-area-overhead percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..mem.dram import GDDR5, LPDDR4, DramConfig
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """A GPU system the SCU attaches to."""
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_hz: float
+    max_threads_per_sm: int
+    l1_bytes: int
+    l2_bytes: int
+    shared_bytes_per_sm: int
+    dram: DramConfig
+    l2_bandwidth_bps: float
+    kernel_launch_overhead_s: float
+    #: sustained fraction of peak issue rate graph kernels reach when
+    #: compute-bound (they never do in practice; memory wins).
+    issue_efficiency: float
+    #: memory transactions one SM keeps in flight on irregular
+    #: workloads (effective MLP, not raw MSHR count): dependent loads,
+    #: replays and bank conflicts pin it well below the hardware limit,
+    #: and the slower LPDDR4 path sustains less than the GDDR5 one.
+    effective_mshrs_per_sm: int
+    # -- energy coefficients (GPUWattch analog) --
+    energy_per_instruction_pj: float
+    energy_per_l1_access_pj: float
+    energy_per_l2_access_pj: float
+    energy_per_atomic_pj: float
+    #: power the SM array + uncore burns while kernels are resident:
+    #: even stalled-on-memory SMs keep their clocks, schedulers and
+    #: register files active, so this scales with GPU busy-time — the
+    #: dominant energy term for graph workloads (GPUWattch analog).
+    active_power_w: float
+    static_power_w: float  # leakage while idle, excluding DRAM
+    die_area_mm2: float
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.cores_per_sm <= 0:
+            raise ConfigError(f"{self.name}: SM geometry must be positive")
+        if self.clock_hz <= 0:
+            raise ConfigError(f"{self.name}: clock must be positive")
+        if not 0 < self.issue_efficiency <= 1:
+            raise ConfigError(f"{self.name}: issue_efficiency must be in (0, 1]")
+
+    @property
+    def peak_ops_per_s(self) -> float:
+        """Peak scalar-op throughput across all SMs."""
+        return self.num_sms * self.cores_per_sm * self.clock_hz
+
+    @property
+    def max_threads(self) -> int:
+        return self.num_sms * self.max_threads_per_sm
+
+    @property
+    def resident_threads(self) -> int:
+        """Threads concurrently resident across the SMs (2048/SM on Maxwell).
+
+        This bounds how quickly a non-atomic status-bit update becomes
+        visible to later threads of the same grid; the BFS baseline's
+        best-effort duplicate filter races within this window.
+        """
+        return self.num_sms * 2048
+
+    def describe(self) -> list[tuple[str, str]]:
+        """Rows for the Table 3/4 renderer."""
+        return [
+            ("GPU, Frequency", f"{self.name}, {self.clock_hz / 1e9:.2f}GHz"),
+            (
+                "Streaming Multiprocessors",
+                f"{self.num_sms} ({self.max_threads} threads), Maxwell",
+            ),
+            ("L1, L2 caches", f"{self.l1_bytes // 1024} KB, {self.l2_bytes // 1024} KB"),
+            ("Shared Memory", f"{self.shared_bytes_per_sm // 1024} KB"),
+            (
+                "Main Memory",
+                f"{self.dram.capacity_bytes >> 30} GB {self.dram.name}, "
+                f"{self.dram.peak_bandwidth_bps / 1e9:.1f} GB/s",
+            ),
+        ]
+
+
+#: Table 3 — high-performance system: NVIDIA GTX 980 (Maxwell, GM204).
+GTX980 = GpuConfig(
+    name="GTX980",
+    num_sms=16,
+    cores_per_sm=128,
+    clock_hz=1.27e9,
+    max_threads_per_sm=2048,
+    l1_bytes=32 * 1024,
+    l2_bytes=2 * 1024 * 1024,
+    shared_bytes_per_sm=64 * 1024,
+    dram=GDDR5,
+    l2_bandwidth_bps=1.0e12,
+    kernel_launch_overhead_s=4e-6,
+    issue_efficiency=0.55,
+    effective_mshrs_per_sm=12,
+    energy_per_instruction_pj=16.0,
+    energy_per_l1_access_pj=30.0,
+    energy_per_l2_access_pj=160.0,
+    energy_per_atomic_pj=400.0,
+    active_power_w=110.0,
+    static_power_w=8.0,
+    die_area_mm2=398.0,
+)
+
+#: Table 4 — low-power system: NVIDIA Tegra X1 (Maxwell, GM20B).
+TX1 = GpuConfig(
+    name="TX1",
+    num_sms=2,
+    cores_per_sm=128,
+    clock_hz=1.0e9,
+    max_threads_per_sm=128,  # Table 4 lists 2 SMs (256 threads)
+    l1_bytes=32 * 1024,
+    l2_bytes=256 * 1024,
+    shared_bytes_per_sm=64 * 1024,
+    dram=LPDDR4,
+    l2_bandwidth_bps=120e9,
+    kernel_launch_overhead_s=6e-6,
+    issue_efficiency=0.55,
+    effective_mshrs_per_sm=4,
+    energy_per_instruction_pj=7.0,
+    energy_per_l1_access_pj=14.0,
+    energy_per_l2_access_pj=75.0,
+    energy_per_atomic_pj=190.0,
+    active_power_w=6.0,
+    static_power_w=0.9,
+    die_area_mm2=89.0,  # GPU complex share of the X1 SoC (paper: SCU = 4.1 %)
+)
+
+GPU_SYSTEMS = {"GTX980": GTX980, "TX1": TX1}

@@ -1,0 +1,77 @@
+"""The GPU device model: executes :class:`KernelSpec` cost descriptions.
+
+``GpuDevice.run`` is the single entry point the algorithms use for GPU
+work: it coalesces every access stream warp-by-warp, pushes the
+transactions through the shared memory hierarchy, applies the timing and
+energy models, and returns a :class:`~repro.phases.PhaseReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mem.coalescer import coalesce_warp
+from ..mem.hierarchy import MemoryHierarchy, MemoryStats
+from ..phases import Engine, PhaseReport
+from .config import GpuConfig
+from .energy import kernel_dynamic_energy_j
+from .kernel import KernelSpec
+from .timing import kernel_timing
+
+
+@dataclass
+class GpuDevice:
+    """One GPU system (config + memory hierarchy)."""
+
+    config: GpuConfig
+    hierarchy: MemoryHierarchy = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.hierarchy = MemoryHierarchy(
+            l2_capacity_bytes=self.config.l2_bytes, dram=self.config.dram
+        )
+
+    def run(self, spec: KernelSpec) -> PhaseReport:
+        """Execute (cost-model) one kernel launch.
+
+        DRAM time is summed per access stream rather than computed on
+        the merged aggregate: interleaving a random gather with a
+        sequential stream destroys the latter's row locality, so the
+        streams effectively serialize at the DRAM — a divergent gather
+        cannot hide under a streaming store's bandwidth.
+        """
+        memory = MemoryStats()
+        dram_s = 0.0
+        for stream in spec.accesses:
+            result = coalesce_warp(stream.addresses, active_mask=stream.active_mask)
+            stats = self.hierarchy.process(result, l2_bypass=stream.l2_bypass)
+            dram_s += self.hierarchy.dram_time_s(stats)
+            memory = memory.merged(stats)
+        atomics = spec.atomic_count
+        timing = kernel_timing(
+            self.config,
+            self.hierarchy,
+            instructions=spec.total_instructions,
+            memory=memory,
+            atomics=atomics,
+            memory_efficiency=spec.memory_efficiency,
+            dram_s_override=dram_s,
+        )
+        energy = kernel_dynamic_energy_j(
+            self.config,
+            self.hierarchy,
+            instructions=spec.total_instructions,
+            memory=memory,
+            atomics=atomics,
+            busy_time_s=timing.total_s + spec.extra_overhead_s,
+        )
+        return PhaseReport(
+            name=spec.name,
+            engine=Engine.GPU,
+            kind=spec.kind,
+            elements=spec.threads,
+            instructions=spec.total_instructions,
+            time_s=timing.total_s + spec.extra_overhead_s,
+            dynamic_energy_j=energy,
+            memory=memory,
+        )

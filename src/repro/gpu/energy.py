@@ -1,0 +1,49 @@
+"""GPU dynamic-energy model (the GPUWattch substitute).
+
+Dynamic energy is a linear combination of event counts with per-config
+coefficients (Table 3/4 analogs in :mod:`repro.gpu.config`):
+
+``E = instr * e_inst + trans * (e_l1 + e_l2) + atomics * e_atomic + E_dram``
+
+Every coalesced transaction performs an L1 lookup and an L2 access in
+this model; DRAM dynamic energy comes from the DRAM model.  Static
+energy is accounted once per run (power x makespan) by the runner, not
+per kernel, because the GPU and SCU never run concurrently in the
+paper's offload scheme.
+"""
+
+from __future__ import annotations
+
+from ..mem.hierarchy import MemoryHierarchy, MemoryStats
+from .config import GpuConfig
+
+
+def kernel_dynamic_energy_j(
+    config: GpuConfig,
+    hierarchy: MemoryHierarchy,
+    *,
+    instructions: int,
+    memory: MemoryStats,
+    atomics: int = 0,
+    busy_time_s: float = 0.0,
+) -> float:
+    """Dynamic energy of one kernel launch, in joules.
+
+    Two components: per-event energies (instructions, cache accesses,
+    atomics, DRAM transfers) and the SM-array active power integrated
+    over the kernel's duration — stalled SMs are not free, which is why
+    offloading work to a small unit saves energy even when it does not
+    save time.
+    """
+    core = instructions * config.energy_per_instruction_pj
+    l1 = memory.transactions * config.energy_per_l1_access_pj
+    l2 = memory.transactions * config.energy_per_l2_access_pj
+    atomic = atomics * config.energy_per_atomic_pj
+    dram = hierarchy.dram_dynamic_energy_j(memory)
+    active = config.active_power_w * busy_time_s
+    return (core + l1 + l2 + atomic) * 1e-12 + dram + active
+
+
+def system_static_power_w(config: GpuConfig) -> float:
+    """Static power of GPU cores plus DRAM background/refresh."""
+    return config.static_power_w + config.dram.static_power_w

@@ -1,0 +1,117 @@
+"""Kernel cost specification.
+
+Algorithms describe each kernel launch as a :class:`KernelSpec`: how
+many threads ran, how many instructions each executed, and — crucially —
+the *actual byte addresses* every global access stream touched.  The GPU
+device model turns those into coalesced transactions, cache traffic,
+time and energy.  This is the contract that lets a functional NumPy
+simulation drive a hardware cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..phases import PhaseKind
+
+
+@dataclass(frozen=True)
+class AccessStream:
+    """One global-memory access pattern issued by a kernel."""
+
+    addresses: np.ndarray  # byte address per thread/element, thread order
+    is_store: bool = False
+    is_atomic: bool = False
+    l2_bypass: bool = False  # streaming data not worth caching
+    active_mask: np.ndarray | None = None
+
+
+@dataclass
+class KernelSpec:
+    """Cost description of one kernel launch."""
+
+    name: str
+    kind: PhaseKind
+    threads: int
+    instructions_per_thread: float = 0.0
+    extra_instructions: int = 0  # e.g. scan/reduction tree overhead
+    #: Fraction of peak memory throughput this kernel sustains.  Scan-
+    #: based stream compaction on GPUs reaches well under peak because
+    #: of work-distribution synchronization and multi-phase passes
+    #: (Billeter et al. HPG'09; Merrill's reported traversal rates);
+    #: algorithms set this below 1.0 for their compaction kernels.
+    memory_efficiency: float = 1.0
+    #: additional fixed overhead (extra launches, host synchronization)
+    extra_overhead_s: float = 0.0
+    accesses: list[AccessStream] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.threads < 0:
+            raise SimulationError(f"kernel {self.name}: negative thread count")
+        if self.instructions_per_thread < 0 or self.extra_instructions < 0:
+            raise SimulationError(f"kernel {self.name}: negative instruction count")
+        if not 0.0 < self.memory_efficiency <= 1.0:
+            raise SimulationError(
+                f"kernel {self.name}: memory_efficiency must be in (0, 1]"
+            )
+
+    # -- builders ------------------------------------------------------------
+
+    def load(
+        self,
+        addresses: np.ndarray,
+        *,
+        l2_bypass: bool = False,
+        active_mask: np.ndarray | None = None,
+    ) -> "KernelSpec":
+        self.accesses.append(
+            AccessStream(
+                addresses=np.asarray(addresses, dtype=np.int64),
+                l2_bypass=l2_bypass,
+                active_mask=active_mask,
+            )
+        )
+        return self
+
+    def store(
+        self,
+        addresses: np.ndarray,
+        *,
+        l2_bypass: bool = False,
+        active_mask: np.ndarray | None = None,
+    ) -> "KernelSpec":
+        self.accesses.append(
+            AccessStream(
+                addresses=np.asarray(addresses, dtype=np.int64),
+                is_store=True,
+                l2_bypass=l2_bypass,
+                active_mask=active_mask,
+            )
+        )
+        return self
+
+    def atomic(self, addresses: np.ndarray) -> "KernelSpec":
+        """Atomic read-modify-write on the given addresses."""
+        self.accesses.append(
+            AccessStream(
+                addresses=np.asarray(addresses, dtype=np.int64),
+                is_store=True,
+                is_atomic=True,
+            )
+        )
+        return self
+
+    # -- totals ---------------------------------------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        return int(round(self.threads * self.instructions_per_thread)) + self.extra_instructions
+
+    @property
+    def atomic_count(self) -> int:
+        return sum(
+            stream.addresses.size for stream in self.accesses if stream.is_atomic
+        )

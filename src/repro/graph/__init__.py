@@ -1,0 +1,36 @@
+"""Graph substrate: CSR structure, builders, generators, datasets, IO."""
+
+from .analysis import GraphStats, frontier_duplicate_rate, graph_stats
+from .builder import build_csr, from_networkx, random_weights, to_networkx
+from .csr import CsrGraph
+from .datasets import DATASET_NAMES, DATASETS, DatasetSpec, clear_dataset_cache, load_dataset
+from .io import (
+    load_dimacs,
+    load_edge_list,
+    load_matrix_market,
+    save_dimacs,
+    save_edge_list,
+    save_matrix_market,
+)
+
+__all__ = [
+    "CsrGraph",
+    "GraphStats",
+    "graph_stats",
+    "frontier_duplicate_rate",
+    "build_csr",
+    "from_networkx",
+    "to_networkx",
+    "random_weights",
+    "DATASETS",
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "load_dataset",
+    "clear_dataset_cache",
+    "load_dimacs",
+    "load_edge_list",
+    "load_matrix_market",
+    "save_dimacs",
+    "save_edge_list",
+    "save_matrix_market",
+]

@@ -1,0 +1,102 @@
+"""Structural statistics for graphs and frontiers.
+
+These feed Table 5 (dataset characteristics) and give the experiments a
+way to report *why* a dataset behaves the way it does (duplicate rates,
+degree skew, locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CsrGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph, matching Table 5's columns plus skew."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    average_degree: float
+    max_degree: int
+    degree_p99: float
+    gini_degree: float
+    largest_component_fraction: float
+
+    def as_row(self) -> tuple:
+        """Row for the Table 5 renderer (nodes in 10^3, edges in 10^6)."""
+        return (
+            self.name,
+            round(self.num_nodes / 1e3, 1),
+            round(self.num_edges / 1e6, 3),
+            round(self.average_degree, 1),
+        )
+
+
+def degree_gini(degrees: np.ndarray) -> float:
+    """Gini coefficient of the degree distribution (0 = uniform, 1 = hub)."""
+    if degrees.size == 0:
+        return 0.0
+    sorted_deg = np.sort(degrees.astype(np.float64))
+    total = sorted_deg.sum()
+    if total == 0:
+        return 0.0
+    n = sorted_deg.size
+    cumulative = np.cumsum(sorted_deg)
+    return float((n + 1 - 2 * np.sum(cumulative) / total) / n)
+
+
+def largest_component_fraction(graph: CsrGraph) -> float:
+    """Fraction of nodes in the largest weakly-connected component.
+
+    Uses an iterative label-propagation union over CSR arrays (no
+    recursion, vectorized), adequate for the dataset sizes used here.
+    """
+    if graph.num_nodes == 0:
+        return 0.0
+    labels = np.arange(graph.num_nodes, dtype=np.int64)
+    sources = graph.edge_sources()
+    dests = graph.edges
+    while True:
+        # Propagate the minimum label across every edge in both directions.
+        new_labels = labels.copy()
+        np.minimum.at(new_labels, dests, labels[sources])
+        np.minimum.at(new_labels, sources, labels[dests])
+        # Pointer-jump to accelerate convergence.
+        new_labels = new_labels[new_labels]
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+    _, counts = np.unique(labels, return_counts=True)
+    return float(counts.max() / graph.num_nodes)
+
+
+def graph_stats(graph: CsrGraph) -> GraphStats:
+    """Compute the full statistics bundle for ``graph``."""
+    degrees = graph.out_degrees
+    return GraphStats(
+        name=graph.name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        average_degree=graph.average_degree,
+        max_degree=int(degrees.max()) if degrees.size else 0,
+        degree_p99=float(np.percentile(degrees, 99)) if degrees.size else 0.0,
+        gini_degree=degree_gini(degrees),
+        largest_component_fraction=largest_component_fraction(graph),
+    )
+
+
+def frontier_duplicate_rate(frontier: np.ndarray) -> float:
+    """Fraction of frontier entries that are duplicates of earlier entries.
+
+    This is the quantity the SCU's filtering removes; reported per phase
+    by the experiments.
+    """
+    if frontier.size == 0:
+        return 0.0
+    unique = np.unique(frontier).size
+    return float(1.0 - unique / frontier.size)

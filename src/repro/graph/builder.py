@@ -1,0 +1,130 @@
+"""Build :class:`~repro.graph.csr.CsrGraph` objects from edge lists.
+
+The generators all produce ``(src, dst[, weight])`` triples; this module
+normalizes them (dedup, optional symmetrization, self-loop removal) and
+packs them into CSR, mirroring the preprocessing the paper's CUDA codes
+apply to the UFL/DIMACS inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from ..utils import rng_from_seed
+from .csr import CsrGraph
+
+
+def build_csr(
+    num_nodes: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray | None = None,
+    *,
+    name: str = "graph",
+    symmetrize: bool = False,
+    remove_self_loops: bool = True,
+    deduplicate: bool = True,
+    default_weight: float = 1.0,
+) -> CsrGraph:
+    """Pack an edge list into CSR.
+
+    Args:
+        num_nodes: node count; ids in ``src``/``dst`` must be < this.
+        src, dst: parallel int arrays of edge endpoints.
+        weights: optional parallel float array; defaults to ``default_weight``.
+        symmetrize: if True, add the reverse of every edge (road networks
+            and meshes in the paper are undirected).
+        remove_self_loops: drop ``u -> u`` edges.
+        deduplicate: keep a single copy of repeated ``(src, dst)`` pairs
+            (first occurrence wins, preserving its weight).
+    """
+    src = np.ascontiguousarray(src, dtype=np.int64)
+    dst = np.ascontiguousarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise GraphError(f"src shape {src.shape} != dst shape {dst.shape}")
+    if weights is None:
+        weights = np.full(src.size, default_weight, dtype=np.float64)
+    else:
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if weights.shape != src.shape:
+            raise GraphError("weights must be parallel to the edge list")
+    if num_nodes <= 0:
+        raise GraphError(f"num_nodes must be positive, got {num_nodes}")
+    if src.size and (min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= num_nodes):
+        raise GraphError("edge endpoint out of range")
+
+    if symmetrize:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        weights = np.concatenate([weights, weights])
+
+    if remove_self_loops:
+        keep = src != dst
+        src, dst, weights = src[keep], dst[keep], weights[keep]
+
+    if deduplicate and src.size:
+        keys = src * num_nodes + dst
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        first = np.ones(keys_sorted.size, dtype=bool)
+        first[1:] = keys_sorted[1:] != keys_sorted[:-1]
+        keep_idx = order[first]
+        keep_idx.sort()  # preserve original relative order
+        src, dst, weights = src[keep_idx], dst[keep_idx], weights[keep_idx]
+
+    order = np.argsort(src, kind="stable")
+    src, dst, weights = src[order], dst[order], weights[order]
+    offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+    counts = np.bincount(src, minlength=num_nodes)
+    np.cumsum(counts, out=offsets[1:])
+    return CsrGraph(offsets=offsets, edges=dst, weights=weights, name=name)
+
+
+def random_weights(
+    num_edges: int,
+    *,
+    low: float = 1.0,
+    high: float = 10.0,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Uniform integer-valued weights in ``[low, high]``, as the SSSP papers use."""
+    rng = rng_from_seed(seed)
+    if num_edges < 0:
+        raise GraphError(f"num_edges must be non-negative, got {num_edges}")
+    if high < low:
+        raise GraphError(f"invalid weight range [{low}, {high}]")
+    return rng.integers(int(low), int(high) + 1, size=num_edges).astype(np.float64)
+
+
+def from_networkx(nx_graph, *, name: str = "graph", weight_attr: str = "weight") -> CsrGraph:
+    """Convert a NetworkX (di)graph to CSR; used by tests for cross-validation."""
+    import networkx as nx
+
+    directed = nx_graph.is_directed()
+    mapping = {node: i for i, node in enumerate(nx_graph.nodes())}
+    src, dst, wts = [], [], []
+    for u, v, data in nx_graph.edges(data=True):
+        src.append(mapping[u])
+        dst.append(mapping[v])
+        wts.append(float(data.get(weight_attr, 1.0)))
+    return build_csr(
+        nx_graph.number_of_nodes(),
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(wts, dtype=np.float64),
+        name=name,
+        symmetrize=not directed,
+        deduplicate=True,
+    )
+
+
+def to_networkx(graph: CsrGraph):
+    """Convert CSR to a NetworkX DiGraph; used by tests for cross-validation."""
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_nodes))
+    sources = graph.edge_sources()
+    for u, v, w in zip(sources, graph.edges, graph.weights):
+        g.add_edge(int(u), int(v), weight=float(w))
+    return g

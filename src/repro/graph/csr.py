@@ -1,0 +1,156 @@
+"""Compressed Sparse Row (CSR) graph representation.
+
+The paper (Section 2, Figure 2) uses CSR as the on-device graph format:
+an array of adjacency offsets (one entry per node plus a terminator), an
+array of edge destinations, and a parallel array of edge weights.  This
+module provides that structure plus the handful of queries the
+algorithms and the SCU model need.
+
+All arrays are NumPy so the functional simulation can process whole
+frontiers with vectorized operations, exactly the way a GPU kernel
+would process them warp-by-warp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import GraphError
+
+
+@dataclass(frozen=True)
+class CsrGraph:
+    """A directed graph in CSR form.
+
+    Attributes:
+        offsets: int64 array of length ``num_nodes + 1``; edges of node
+            ``u`` live in ``edges[offsets[u]:offsets[u + 1]]``.
+        edges: int64 array of destination node ids, length ``num_edges``.
+        weights: float64 array parallel to ``edges``.
+        name: optional human-readable dataset name.
+    """
+
+    offsets: np.ndarray
+    edges: np.ndarray
+    weights: np.ndarray
+    name: str = "graph"
+    _out_degrees: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        edges = np.ascontiguousarray(self.edges, dtype=np.int64)
+        weights = np.ascontiguousarray(self.weights, dtype=np.float64)
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "edges", edges)
+        object.__setattr__(self, "weights", weights)
+        self._validate()
+        object.__setattr__(self, "_out_degrees", np.diff(offsets))
+
+    def _validate(self) -> None:
+        if self.offsets.ndim != 1 or self.offsets.size < 1:
+            raise GraphError("offsets must be a 1-D array with at least one entry")
+        if self.offsets[0] != 0:
+            raise GraphError(f"offsets must start at 0, got {self.offsets[0]}")
+        if np.any(np.diff(self.offsets) < 0):
+            raise GraphError("offsets must be non-decreasing")
+        if self.offsets[-1] != self.edges.size:
+            raise GraphError(
+                f"offsets terminator {self.offsets[-1]} != number of edges {self.edges.size}"
+            )
+        if self.weights.size != self.edges.size:
+            raise GraphError(
+                f"weights length {self.weights.size} != edges length {self.edges.size}"
+            )
+        num_nodes = self.offsets.size - 1
+        if self.edges.size and (self.edges.min() < 0 or self.edges.max() >= num_nodes):
+            raise GraphError("edge destination out of range")
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.edges.size
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node (int64 array)."""
+        return self._out_degrees
+
+    @property
+    def average_degree(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Destinations of the outgoing edges of ``node``."""
+        self._check_node(node)
+        return self.edges[self.offsets[node] : self.offsets[node + 1]]
+
+    def neighbor_weights(self, node: int) -> np.ndarray:
+        """Weights of the outgoing edges of ``node``."""
+        self._check_node(node)
+        return self.weights[self.offsets[node] : self.offsets[node + 1]]
+
+    def out_degree(self, node: int) -> int:
+        self._check_node(node)
+        return int(self._out_degrees[node])
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CsrGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, avg_degree={self.average_degree:.1f})"
+        )
+
+    # -- transformations ---------------------------------------------------
+
+    def reversed(self) -> "CsrGraph":
+        """Return the transpose graph (every edge direction flipped)."""
+        order = np.argsort(self.edges, kind="stable")
+        sources = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self._out_degrees)
+        new_offsets = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        counts = np.bincount(self.edges, minlength=self.num_nodes)
+        np.cumsum(counts, out=new_offsets[1:])
+        return CsrGraph(
+            offsets=new_offsets,
+            edges=sources[order],
+            weights=self.weights[order],
+            name=f"{self.name}^T",
+        )
+
+    def with_unit_weights(self) -> "CsrGraph":
+        """Return the same topology with all weights set to 1.0."""
+        return CsrGraph(
+            offsets=self.offsets,
+            edges=self.edges,
+            weights=np.ones_like(self.weights),
+            name=self.name,
+        )
+
+    def edge_sources(self) -> np.ndarray:
+        """Source node of every edge, parallel to ``edges`` (int64)."""
+        return np.repeat(np.arange(self.num_nodes, dtype=np.int64), self._out_degrees)
+
+    # -- memory layout (used by the memory models) ---------------------------
+
+    def edge_address(self, edge_index: np.ndarray, base: int = 0, elem_bytes: int = 4) -> np.ndarray:
+        """Byte addresses of entries in the edge array, for coalescing models."""
+        return base + np.asarray(edge_index, dtype=np.int64) * elem_bytes
+
+    def node_address(self, node_index: np.ndarray, base: int = 0, elem_bytes: int = 4) -> np.ndarray:
+        """Byte addresses of per-node data (labels, ranks), for coalescing models."""
+        return base + np.asarray(node_index, dtype=np.int64) * elem_bytes

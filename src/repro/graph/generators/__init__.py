@@ -1,0 +1,18 @@
+"""Synthetic generators for the six paper-dataset analogs (Table 5)."""
+
+from .delaunay import generate_delaunay
+from .mesh import generate_mesh3d
+from .powerlaw import generate_collaboration
+from .regulatory import generate_regulatory
+from .rmat import generate_kron, rmat_edges
+from .road import generate_road_network
+
+__all__ = [
+    "generate_delaunay",
+    "generate_mesh3d",
+    "generate_collaboration",
+    "generate_regulatory",
+    "generate_kron",
+    "rmat_edges",
+    "generate_road_network",
+]

@@ -1,0 +1,37 @@
+"""Delaunay triangulation generator — analog of the ``delaunay`` dataset.
+
+The DIMACS ``delaunay_n`` family triangulates uniformly random points in
+the unit square; degrees are tightly concentrated around six and the
+graph is planar, giving moderate frontier growth and good locality when
+points are laid out spatially — the regime where grouping helps least.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from ...errors import GraphError
+from ...utils import rng_from_seed
+from ..builder import build_csr, random_weights
+from ..csr import CsrGraph
+
+
+def generate_delaunay(
+    num_points: int = 16384,
+    *,
+    seed: int | np.random.Generator | None = None,
+    name: str = "delaunay",
+) -> CsrGraph:
+    """Triangulate ``num_points`` random points; edges are triangle sides."""
+    if num_points < 3:
+        raise GraphError(f"need at least 3 points, got {num_points}")
+    rng = rng_from_seed(seed)
+    points = rng.random((num_points, 2))
+    tri = Delaunay(points)
+    simplices = tri.simplices.astype(np.int64)
+    # Each triangle (a, b, c) contributes edges ab, bc, ca.
+    src = np.concatenate([simplices[:, 0], simplices[:, 1], simplices[:, 2]])
+    dst = np.concatenate([simplices[:, 1], simplices[:, 2], simplices[:, 0]])
+    weights = random_weights(src.size, low=1, high=10, seed=rng)
+    return build_csr(num_points, src, dst, weights, name=name, symmetrize=True)

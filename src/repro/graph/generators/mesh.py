@@ -1,0 +1,64 @@
+"""3-D FEM mesh generator — analog of the ``msdoor`` dataset.
+
+``msdoor`` is the stiffness matrix of a 3-D object mesh: very regular,
+high average degree (~50–100 neighbours from high-order elements), and
+excellent spatial locality.  We model it as a 3-D lattice in which every
+node connects to all lattice neighbours within a Chebyshev radius,
+giving the same dense-banded structure.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ...errors import GraphError
+from ...utils import rng_from_seed
+from ..builder import build_csr, random_weights
+from ..csr import CsrGraph
+
+
+def generate_mesh3d(
+    dims: tuple[int, int, int] = (16, 16, 16),
+    *,
+    radius: int = 2,
+    seed: int | np.random.Generator | None = None,
+    name: str = "msdoor",
+) -> CsrGraph:
+    """Generate a 3-D lattice mesh with Chebyshev-radius connectivity.
+
+    ``radius=2`` yields up to 124 neighbours per interior node, matching
+    msdoor's ~97 average degree after boundary effects.
+    """
+    nx_, ny, nz = dims
+    if min(dims) < 2:
+        raise GraphError(f"all mesh dimensions must be >= 2, got {dims}")
+    if radius < 1:
+        raise GraphError(f"radius must be >= 1, got {radius}")
+    rng = rng_from_seed(seed)
+
+    num_nodes = nx_ * ny * nz
+    ids = np.arange(num_nodes, dtype=np.int64).reshape(nx_, ny, nz)
+
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    offsets = [
+        (dx, dy, dz)
+        for dx, dy, dz in itertools.product(range(-radius, radius + 1), repeat=3)
+        if (dx, dy, dz) > (0, 0, 0)  # half-space: symmetrization adds the rest
+    ]
+    for dx, dy, dz in offsets:
+        sx = slice(max(0, -dx), nx_ - max(0, dx))
+        sy = slice(max(0, -dy), ny - max(0, dy))
+        sz = slice(max(0, -dz), nz - max(0, dz))
+        tx = slice(max(0, dx), nx_ - max(0, -dx))
+        ty = slice(max(0, dy), ny - max(0, -dy))
+        tz = slice(max(0, dz), nz - max(0, -dz))
+        src_parts.append(ids[sx, sy, sz].ravel())
+        dst_parts.append(ids[tx, ty, tz].ravel())
+
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+    weights = random_weights(src.size, low=1, high=10, seed=rng)
+    return build_csr(num_nodes, src, dst, weights, name=name, symmetrize=True)

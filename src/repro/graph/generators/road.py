@@ -1,0 +1,65 @@
+"""Road-network analog of the ``ca`` (California roads) dataset.
+
+Road networks are near-planar, low-degree, high-diameter graphs.  We
+model one as a jittered 2-D lattice: every intersection connects to its
+grid neighbours, a fraction of edges are removed (dead ends, rivers),
+and a small number of long-range shortcuts (highways) are added.  The
+result matches the frontier dynamics that make road networks hard for
+GPU BFS: many iterations, small frontiers, few duplicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import GraphError
+from ...utils import rng_from_seed
+from ..builder import build_csr, random_weights
+from ..csr import CsrGraph
+
+
+def generate_road_network(
+    side: int = 190,
+    *,
+    drop_fraction: float = 0.08,
+    shortcut_fraction: float = 0.005,
+    seed: int | np.random.Generator | None = None,
+    name: str = "ca",
+) -> CsrGraph:
+    """Generate a road-network-like graph on a ``side x side`` lattice.
+
+    Args:
+        side: lattice dimension; the graph has ``side**2`` nodes.
+        drop_fraction: fraction of lattice edges removed at random.
+        shortcut_fraction: shortcuts added, as a fraction of node count.
+    """
+    if side < 2:
+        raise GraphError(f"side must be >= 2, got {side}")
+    if not 0.0 <= drop_fraction < 1.0:
+        raise GraphError(f"drop_fraction must be in [0, 1), got {drop_fraction}")
+    rng = rng_from_seed(seed)
+    num_nodes = side * side
+    ids = np.arange(num_nodes, dtype=np.int64).reshape(side, side)
+
+    horizontal = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    vertical = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    edges = np.concatenate([horizontal, vertical], axis=0)
+
+    keep = rng.random(edges.shape[0]) >= drop_fraction
+    edges = edges[keep]
+
+    num_shortcuts = int(round(num_nodes * shortcut_fraction))
+    if num_shortcuts:
+        a = rng.integers(0, num_nodes, size=num_shortcuts)
+        b = rng.integers(0, num_nodes, size=num_shortcuts)
+        edges = np.concatenate([edges, np.stack([a, b], axis=1)], axis=0)
+
+    weights = random_weights(edges.shape[0], low=1, high=10, seed=rng)
+    return build_csr(
+        num_nodes,
+        edges[:, 0],
+        edges[:, 1],
+        weights,
+        name=name,
+        symmetrize=True,
+    )

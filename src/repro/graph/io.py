@@ -1,0 +1,182 @@
+"""Graph file formats: simple edge lists, DIMACS ``.gr``, Matrix Market.
+
+The paper's datasets come from the UFL Sparse Matrix Collection (Matrix
+Market) and the DIMACS implementation challenges (``.gr``/METIS).  These
+readers/writers let users feed their own files to the library, and the
+round-trip is covered by tests.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .builder import build_csr
+from .csr import CsrGraph
+
+
+def _open_text(path: Path, mode: str = "rt"):
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+# -- plain edge list ------------------------------------------------------
+
+
+def save_edge_list(graph: CsrGraph, path: str | Path) -> None:
+    """Write ``src dst weight`` lines, one edge per line."""
+    path = Path(path)
+    sources = graph.edge_sources()
+    with _open_text(path, "wt") as handle:
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for u, v, w in zip(sources, graph.edges, graph.weights):
+            handle.write(f"{u} {v} {w:g}\n")
+
+
+def load_edge_list(path: str | Path, *, name: str | None = None) -> CsrGraph:
+    """Read the format written by :func:`save_edge_list`.
+
+    Node count comes from the header if present, otherwise from the
+    maximum id seen.
+    """
+    path = Path(path)
+    num_nodes = None
+    src, dst, wts = [], [], []
+    with _open_text(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    if token.startswith("nodes="):
+                        num_nodes = int(token.split("=", 1)[1])
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(f"{path}:{lineno}: expected 2 or 3 fields")
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+            wts.append(float(parts[2]) if len(parts) == 3 else 1.0)
+    if not src:
+        raise GraphFormatError(f"{path}: no edges found")
+    if num_nodes is None:
+        num_nodes = int(max(max(src), max(dst))) + 1
+    return build_csr(
+        num_nodes,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(wts, dtype=np.float64),
+        name=name or path.stem,
+        deduplicate=False,
+    )
+
+
+# -- DIMACS ----------------------------------------------------------------
+
+
+def save_dimacs(graph: CsrGraph, path: str | Path) -> None:
+    """Write the 9th-DIMACS ``.gr`` shortest-path format (1-based ids)."""
+    path = Path(path)
+    sources = graph.edge_sources()
+    with _open_text(path, "wt") as handle:
+        handle.write(f"p sp {graph.num_nodes} {graph.num_edges}\n")
+        for u, v, w in zip(sources, graph.edges, graph.weights):
+            handle.write(f"a {u + 1} {v + 1} {int(w)}\n")
+
+
+def load_dimacs(path: str | Path, *, name: str | None = None) -> CsrGraph:
+    """Read a 9th-DIMACS ``.gr`` file."""
+    path = Path(path)
+    num_nodes = None
+    src, dst, wts = [], [], []
+    with _open_text(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise GraphFormatError(f"{path}:{lineno}: malformed problem line")
+                num_nodes = int(parts[2])
+            elif parts[0] == "a":
+                if len(parts) != 4:
+                    raise GraphFormatError(f"{path}:{lineno}: malformed arc line")
+                src.append(int(parts[1]) - 1)
+                dst.append(int(parts[2]) - 1)
+                wts.append(float(parts[3]))
+            else:
+                raise GraphFormatError(f"{path}:{lineno}: unknown record {parts[0]!r}")
+    if num_nodes is None:
+        raise GraphFormatError(f"{path}: missing problem line")
+    return build_csr(
+        num_nodes,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(wts, dtype=np.float64),
+        name=name or path.stem,
+        deduplicate=False,
+    )
+
+
+# -- Matrix Market ----------------------------------------------------------
+
+
+def save_matrix_market(graph: CsrGraph, path: str | Path) -> None:
+    """Write a MatrixMarket coordinate file (general, real, 1-based)."""
+    path = Path(path)
+    sources = graph.edge_sources()
+    with _open_text(path, "wt") as handle:
+        handle.write("%%MatrixMarket matrix coordinate real general\n")
+        handle.write(f"{graph.num_nodes} {graph.num_nodes} {graph.num_edges}\n")
+        for u, v, w in zip(sources, graph.edges, graph.weights):
+            handle.write(f"{u + 1} {v + 1} {w:g}\n")
+
+
+def load_matrix_market(path: str | Path, *, name: str | None = None) -> CsrGraph:
+    """Read a MatrixMarket coordinate file as a directed graph.
+
+    Symmetric matrices are expanded to both edge directions, as the UFL
+    collection's graph consumers do.
+    """
+    path = Path(path)
+    with _open_text(path) as handle:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphFormatError(f"{path}: missing MatrixMarket banner")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens:
+            raise GraphFormatError(f"{path}: only coordinate format is supported")
+        symmetric = "symmetric" in tokens
+        pattern = "pattern" in tokens
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        rows, cols, nnz = (int(x) for x in line.split())
+        if rows != cols:
+            raise GraphFormatError(f"{path}: adjacency matrix must be square")
+        src = np.empty(nnz, dtype=np.int64)
+        dst = np.empty(nnz, dtype=np.int64)
+        wts = np.ones(nnz, dtype=np.float64)
+        for i in range(nnz):
+            parts = handle.readline().split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}: truncated entry {i}")
+            src[i] = int(parts[0]) - 1
+            dst[i] = int(parts[1]) - 1
+            if not pattern and len(parts) >= 3:
+                wts[i] = abs(float(parts[2])) or 1.0
+    return build_csr(
+        rows,
+        src,
+        dst,
+        wts,
+        name=name or path.stem,
+        symmetrize=symmetric,
+        deduplicate=False,
+    )

@@ -1,0 +1,49 @@
+"""Experiment harness: drivers for every table and figure of the paper."""
+
+from .experiments import (
+    GPU_NAMES,
+    clear_experiment_cache,
+    fig1_compaction_breakdown,
+    fig9_normalized_energy,
+    fig10_normalized_time,
+    fig11_basic_vs_enhanced,
+    fig12_grouping_coalescing,
+    fig13_bandwidth_utilization,
+    headline_summary,
+    table1_scu_parameters,
+    table2_scu_scalability,
+    table3_table4_gpu_parameters,
+    table5_datasets,
+)
+from .export import export_all, load_json, save_csv, save_json
+from .registry import EXPERIMENTS, run_all, run_experiment
+from .results import ExperimentResult, normalized, speedup
+from .tables import render_key_value, render_table
+
+__all__ = [
+    "GPU_NAMES",
+    "ExperimentResult",
+    "normalized",
+    "speedup",
+    "render_table",
+    "render_key_value",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all",
+    "clear_experiment_cache",
+    "export_all",
+    "save_json",
+    "save_csv",
+    "load_json",
+    "fig1_compaction_breakdown",
+    "fig9_normalized_energy",
+    "fig10_normalized_time",
+    "fig11_basic_vs_enhanced",
+    "fig12_grouping_coalescing",
+    "fig13_bandwidth_utilization",
+    "table1_scu_parameters",
+    "table2_scu_scalability",
+    "table3_table4_gpu_parameters",
+    "table5_datasets",
+    "headline_summary",
+]

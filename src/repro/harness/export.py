@@ -1,0 +1,87 @@
+"""Persisting experiment results — JSON and CSV export / import.
+
+Downstream users plot the reproduced figures with their own tooling;
+this module writes each :class:`~repro.harness.results.ExperimentResult`
+to a machine-readable file and reads it back losslessly (for numeric
+cell types).  ``export_all`` dumps a whole reproduction run into a
+directory, one file per artifact.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict
+
+from ..errors import ExperimentError
+from .results import ExperimentResult
+
+#: fig9 -> "fig9.json"; "table3/4" -> "table3_4.json"
+def _slug(experiment_id: str) -> str:
+    return experiment_id.replace("/", "_")
+
+
+def save_json(result: ExperimentResult, path: str | Path) -> Path:
+    """Write one result as JSON; returns the path written."""
+    path = Path(path)
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_json(path: str | Path) -> ExperimentResult:
+    """Read a result written by :func:`save_json`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ExperimentError(f"{path}: not a valid result file: {error}") from error
+    for key in ("experiment_id", "title", "columns", "rows"):
+        if key not in payload:
+            raise ExperimentError(f"{path}: missing field {key!r}")
+    result = ExperimentResult(
+        payload["experiment_id"], payload["title"], tuple(payload["columns"])
+    )
+    for row in payload["rows"]:
+        result.add_row(*row)
+    for note in payload.get("notes", []):
+        result.add_note(note)
+    return result
+
+
+def save_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write one result as CSV (header + rows; notes as # comments)."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        for note in result.notes:
+            handle.write(f"# {note}\n")
+        writer = csv.writer(handle)
+        writer.writerow(result.columns)
+        writer.writerows(result.rows)
+    return path
+
+
+def export_all(
+    results: Dict[str, ExperimentResult],
+    directory: str | Path,
+    *,
+    formats: tuple[str, ...] = ("json", "csv"),
+) -> list[Path]:
+    """Dump every result into ``directory``; returns the files written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for experiment_id, result in results.items():
+        stem = directory / _slug(experiment_id)
+        if "json" in formats:
+            written.append(save_json(result, stem.with_suffix(".json")))
+        if "csv" in formats:
+            written.append(save_csv(result, stem.with_suffix(".csv")))
+    return written

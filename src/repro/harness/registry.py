@@ -1,0 +1,53 @@
+"""Registry mapping experiment ids to their drivers.
+
+``run_experiment("fig9")`` reproduces one artifact; ``run_all()`` walks
+the whole evaluation section.  The benchmark suite and the
+``reproduce_paper.py`` example are thin wrappers over this registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ExperimentError
+from .experiments import (
+    fig1_compaction_breakdown,
+    fig9_normalized_energy,
+    fig10_normalized_time,
+    fig11_basic_vs_enhanced,
+    fig12_grouping_coalescing,
+    fig13_bandwidth_utilization,
+    headline_summary,
+    table1_scu_parameters,
+    table2_scu_scalability,
+    table3_table4_gpu_parameters,
+    table5_datasets,
+)
+from .results import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig1_compaction_breakdown,
+    "fig9": fig9_normalized_energy,
+    "fig10": fig10_normalized_time,
+    "fig11": fig11_basic_vs_enhanced,
+    "fig12": fig12_grouping_coalescing,
+    "fig13": fig13_bandwidth_utilization,
+    "table1": table1_scu_parameters,
+    "table2": table2_scu_scalability,
+    "table3/4": table3_table4_gpu_parameters,
+    "table5": table5_datasets,
+    "headline": headline_summary,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by its paper artifact id (e.g. ``"fig9"``)."""
+    if experiment_id not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        raise ExperimentError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return EXPERIMENTS[experiment_id](**kwargs)
+
+
+def run_all(**kwargs) -> Dict[str, ExperimentResult]:
+    """Reproduce every table and figure; returns results keyed by id."""
+    return {exp_id: EXPERIMENTS[exp_id]() for exp_id in EXPERIMENTS}

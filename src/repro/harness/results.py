@@ -1,0 +1,69 @@
+"""Result containers for the experiment harness.
+
+Every experiment driver returns an :class:`ExperimentResult`: a table
+(column names + rows) plus free-form notes, with helpers for the
+normalizations the paper's figures use (everything is relative to the
+GPU-only baseline of the same GPU system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ExperimentError(
+                f"{self.experiment_id}: row has {len(values)} values, "
+                f"expected {len(self.columns)}"
+            )
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ExperimentError(f"{self.experiment_id}: no column {name!r}")
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def lookup(self, **filters) -> list:
+        """Rows (as dicts) matching all column=value filters."""
+        cols = list(self.columns)
+        for key in filters:
+            if key not in cols:
+                raise ExperimentError(f"{self.experiment_id}: no column {key!r}")
+        out = []
+        for row in self.rows:
+            record = dict(zip(cols, row))
+            if all(record[k] == v for k, v in filters.items()):
+                out.append(record)
+        return out
+
+
+def normalized(value: float, baseline: float) -> float:
+    """Paper-style normalization (baseline = 1.0)."""
+    if baseline <= 0:
+        raise ExperimentError(f"cannot normalize against baseline {baseline}")
+    return value / baseline
+
+
+def speedup(baseline: float, improved: float) -> float:
+    if improved <= 0:
+        raise ExperimentError(f"cannot compute speedup over {improved}")
+    return baseline / improved

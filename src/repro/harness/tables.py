@@ -1,0 +1,50 @@
+"""ASCII rendering of experiment results, matching the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .results import ExperimentResult
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render one experiment as a boxed ASCII table with its notes."""
+    header = [str(c) for c in result.columns]
+    body = [[_format_cell(v) for v in row] for row in result.rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(char: str = "-") -> str:
+        return "+" + "+".join(char * (w + 2) for w in widths) + "+"
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    out = [f"== {result.experiment_id}: {result.title} ==", line("="), fmt(header), line()]
+    out.extend(fmt(row) for row in body)
+    out.append(line("="))
+    for note in result.notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out)
+
+
+def render_key_value(title: str, rows: list[tuple[str, str]]) -> str:
+    """Render a two-column parameter table (Tables 1-4 style)."""
+    width = max(len(k) for k, _ in rows)
+    out = [f"== {title} =="]
+    out.extend(f"  {k.ljust(width)} : {v}" for k, v in rows)
+    return "\n".join(out)

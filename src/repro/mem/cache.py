@@ -1,0 +1,103 @@
+"""Exact set-associative LRU cache simulator.
+
+Used for small traces (unit tests, SCU hash-table residency studies) and
+as the ground truth against which the analytic estimator in
+:mod:`repro.mem.locality` is validated.  For full-workload experiments
+the estimator is used instead — an exact per-access simulation of a
+multi-million-access trace in pure Python would dominate runtime without
+changing any conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class SetAssociativeCache:
+    """An LRU set-associative cache over line ids.
+
+    Attributes:
+        capacity_bytes: total cache size.
+        line_bytes: line (block) size in bytes.
+        ways: associativity; ``capacity / (line * ways)`` must be a power
+            of two so the set index is a bit mask.
+    """
+
+    capacity_bytes: int
+    line_bytes: int = 128
+    ways: int = 16
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ConfigError("cache parameters must be positive")
+        num_lines = self.capacity_bytes // self.line_bytes
+        if num_lines == 0 or num_lines % self.ways:
+            raise ConfigError(
+                f"capacity {self.capacity_bytes} not divisible into {self.ways}-way sets"
+            )
+        self.num_sets = num_lines // self.ways
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigError(f"number of sets must be a power of two, got {self.num_sets}")
+        # tags[set][way] = line id or -1; lru[set][way] = age counter.
+        self._tags = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        self._ages = np.zeros((self.num_sets, self.ways), dtype=np.int64)
+        self._clock = 0
+
+    def access_line(self, line_id: int) -> bool:
+        """Access one line id; returns True on hit."""
+        self._clock += 1
+        set_idx = line_id & (self.num_sets - 1)
+        tags = self._tags[set_idx]
+        self.stats.accesses += 1
+        hit_ways = np.nonzero(tags == line_id)[0]
+        if hit_ways.size:
+            self._ages[set_idx, hit_ways[0]] = self._clock
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        victim = int(np.argmin(self._ages[set_idx]))
+        if tags[victim] != -1:
+            self.stats.evictions += 1
+        tags[victim] = line_id
+        self._ages[set_idx, victim] = self._clock
+        return False
+
+    def access_lines(self, line_ids: np.ndarray) -> int:
+        """Access a sequence of line ids; returns the number of hits."""
+        hits = 0
+        for line in np.asarray(line_ids, dtype=np.int64):
+            hits += self.access_line(int(line))
+        return hits
+
+    def access_addresses(self, addresses: np.ndarray) -> int:
+        """Access byte addresses (converted to lines); returns hits."""
+        shift = int(self.line_bytes).bit_length() - 1
+        return self.access_lines(np.asarray(addresses, dtype=np.int64) >> shift)
+
+    def reset(self) -> None:
+        self._tags.fill(-1)
+        self._ages.fill(0)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    @property
+    def resident_lines(self) -> int:
+        return int(np.count_nonzero(self._tags != -1))

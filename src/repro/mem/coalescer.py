@@ -1,0 +1,157 @@
+"""Memory-access coalescing models.
+
+Two coalescers live here:
+
+* :func:`coalesce_warp` — the GPU's per-warp coalescer: the 32 threads of
+  a warp issue one address each; accesses falling in the same cache line
+  merge into a single memory transaction.  Intra-warp *memory
+  divergence* is exactly the ratio ``transactions / warps`` and is the
+  quantity the paper's grouping operation improves (Figure 12).
+
+* :func:`coalesce_stream` — the SCU's sequential coalescing unit
+  (Section 3.2.3): a sliding merge window over an in-order request
+  stream (Table 1: 32 in-flight requests, 4-element merge window).
+
+Both are exact (they look at real addresses) and vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+#: Default transaction size. Maxwell L2 moves 32-byte sectors.
+SECTOR_BYTES = 32
+#: L1/texture cache line size used for grouping decisions.
+LINE_BYTES = 128
+#: Threads per warp on every NVIDIA architecture the paper targets.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class CoalesceResult:
+    """Outcome of running an address stream through a coalescer."""
+
+    accesses: int
+    transactions: int
+    line_ids: np.ndarray  # one entry per transaction, for cache modeling
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Average accesses merged per transaction (higher is better)."""
+        if self.transactions == 0:
+            return 0.0
+        return self.accesses / self.transactions
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.transactions * SECTOR_BYTES
+
+
+def _unique_per_row(lines: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """For a 2-D array, return (mask of first occurrences row-wise, sorted array).
+
+    Rows are sorted first; a cell counts when it differs from its left
+    neighbour.  Padding with -1 is handled by callers.
+    """
+    rows_sorted = np.sort(lines, axis=1)
+    first = np.ones_like(rows_sorted, dtype=bool)
+    first[:, 1:] = rows_sorted[:, 1:] != rows_sorted[:, :-1]
+    return first, rows_sorted
+
+
+def coalesce_warp(
+    addresses: np.ndarray,
+    *,
+    warp_size: int = WARP_SIZE,
+    sector_bytes: int = SECTOR_BYTES,
+    active_mask: np.ndarray | None = None,
+) -> CoalesceResult:
+    """Coalesce thread addresses warp-by-warp.
+
+    Args:
+        addresses: byte address per thread, in thread order.  The stream
+            is chopped into consecutive groups of ``warp_size`` (the last
+            warp may be partial).
+        active_mask: optional boolean array marking active lanes;
+            inactive lanes issue no access (predicated-off threads).
+    """
+    if warp_size <= 0:
+        raise SimulationError(f"warp_size must be positive, got {warp_size}")
+    if sector_bytes <= 0 or sector_bytes & (sector_bytes - 1):
+        raise SimulationError(f"sector_bytes must be a power of two, got {sector_bytes}")
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if active_mask is not None:
+        active_mask = np.asarray(active_mask, dtype=bool)
+        if active_mask.shape != addresses.shape:
+            raise SimulationError("active_mask must be parallel to addresses")
+        addresses = addresses[active_mask]
+    n = addresses.size
+    if n == 0:
+        return CoalesceResult(0, 0, np.empty(0, dtype=np.int64))
+
+    shift = int(sector_bytes).bit_length() - 1
+    lines = addresses >> shift
+    pad = (-n) % warp_size
+    if pad:
+        lines = np.concatenate([lines, np.full(pad, -1, dtype=np.int64)])
+    grid = lines.reshape(-1, warp_size)
+    first, rows_sorted = _unique_per_row(grid)
+    keep = first & (rows_sorted != -1)
+    return CoalesceResult(
+        accesses=n,
+        transactions=int(keep.sum()),
+        line_ids=rows_sorted[keep],
+    )
+
+
+def coalesce_stream(
+    addresses: np.ndarray,
+    *,
+    merge_window: int = 4,
+    sector_bytes: int = SECTOR_BYTES,
+) -> CoalesceResult:
+    """Coalesce an in-order request stream with a bounded merge window.
+
+    Models the SCU coalescing unit: a pending transaction absorbs
+    consecutive requests to the same sector, up to ``merge_window``
+    elements per transaction (Table 1: 4-element merge window).  A
+    request to a different sector — or the window filling up — issues a
+    new transaction.
+    """
+    if merge_window <= 0:
+        raise SimulationError(f"merge_window must be positive, got {merge_window}")
+    addresses = np.asarray(addresses, dtype=np.int64)
+    n = addresses.size
+    if n == 0:
+        return CoalesceResult(0, 0, np.empty(0, dtype=np.int64))
+
+    shift = int(sector_bytes).bit_length() - 1
+    lines = addresses >> shift
+    run_start = np.ones(n, dtype=bool)
+    run_start[1:] = lines[1:] != lines[:-1]
+    # Position of each access within its same-sector run.
+    indices = np.arange(n, dtype=np.int64)
+    start_index = np.maximum.accumulate(np.where(run_start, indices, 0))
+    position = indices - start_index
+    keep = position % merge_window == 0
+    return CoalesceResult(accesses=n, transactions=int(keep.sum()), line_ids=lines[keep])
+
+
+def sequential_addresses(
+    count: int, *, base: int = 0, elem_bytes: int = 4
+) -> np.ndarray:
+    """Addresses of a dense sequential array walk (perfectly coalescable)."""
+    if count < 0:
+        raise SimulationError(f"count must be non-negative, got {count}")
+    return base + np.arange(count, dtype=np.int64) * elem_bytes
+
+
+def gather_addresses(
+    indices: np.ndarray, *, base: int = 0, elem_bytes: int = 4
+) -> np.ndarray:
+    """Addresses of an indexed gather (sparse; coalescing depends on indices)."""
+    return base + np.asarray(indices, dtype=np.int64) * elem_bytes

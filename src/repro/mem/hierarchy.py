@@ -1,0 +1,128 @@
+"""Composition of the memory system: coalescer -> L2 -> DRAM.
+
+A simulation phase hands this module the coalesced transactions it
+produced (real line ids); the hierarchy estimates L2 hits, derives DRAM
+traffic and row locality, and returns a :class:`MemoryStats` bundle the
+timing and energy models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .coalescer import SECTOR_BYTES, CoalesceResult
+from .dram import DramConfig, DramModel, DramTraffic
+from .locality import estimate_hit_rate, profile_lines
+
+
+@dataclass(frozen=True)
+class MemoryStats:
+    """Aggregate memory behaviour of one phase."""
+
+    accesses: int = 0  # thread/element-level accesses before coalescing
+    transactions: int = 0  # after coalescing
+    l2_hits: int = 0
+    dram_accesses: int = 0
+    dram_bytes: int = 0
+    row_hit_fraction: float = 0.5
+
+    def merged(self, other: "MemoryStats") -> "MemoryStats":
+        """Combine two phases' stats (row locality weighted by DRAM bytes)."""
+        total_bytes = self.dram_bytes + other.dram_bytes
+        if total_bytes:
+            row_hit = (
+                self.row_hit_fraction * self.dram_bytes
+                + other.row_hit_fraction * other.dram_bytes
+            ) / total_bytes
+        else:
+            row_hit = 0.5
+        return MemoryStats(
+            accesses=self.accesses + other.accesses,
+            transactions=self.transactions + other.transactions,
+            l2_hits=self.l2_hits + other.l2_hits,
+            dram_accesses=self.dram_accesses + other.dram_accesses,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+            row_hit_fraction=row_hit,
+        )
+
+    @property
+    def coalescing_factor(self) -> float:
+        if self.transactions == 0:
+            return 0.0
+        return self.accesses / self.transactions
+
+    @property
+    def l2_hit_rate(self) -> float:
+        if self.transactions == 0:
+            return 0.0
+        return self.l2_hits / self.transactions
+
+    def dram_traffic(self) -> DramTraffic:
+        return DramTraffic(
+            accesses=self.dram_accesses,
+            bytes_transferred=self.dram_bytes,
+            row_hit_fraction=self.row_hit_fraction,
+        )
+
+
+def row_hit_fraction(line_ids: np.ndarray, *, row_bytes: int = 2048) -> float:
+    """Fraction of consecutive DRAM transactions staying in the same row."""
+    line_ids = np.asarray(line_ids, dtype=np.int64)
+    if line_ids.size < 2:
+        return 0.5
+    lines_per_row = max(1, row_bytes // SECTOR_BYTES)
+    rows = line_ids // lines_per_row
+    return float(np.mean(rows[1:] == rows[:-1]))
+
+
+@dataclass
+class MemoryHierarchy:
+    """L2 + DRAM stack shared by the GPU SMs and the SCU."""
+
+    l2_capacity_bytes: int
+    dram: DramConfig
+    l2_line_bytes: int = SECTOR_BYTES
+    _dram_model: DramModel = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._dram_model = DramModel(self.dram)
+
+    def process(self, result: CoalesceResult, *, l2_bypass: bool = False) -> MemoryStats:
+        """Turn coalesced transactions into hierarchy-level statistics.
+
+        Args:
+            result: the coalescer output (real transaction line ids).
+            l2_bypass: model streaming accesses that are not worth
+                caching (the GPU marks such loads; the SCU's bulk
+                sequential writes behave this way too).
+        """
+        if result.transactions == 0:
+            return MemoryStats()
+        profile = profile_lines(result.line_ids)
+        if l2_bypass:
+            hit_rate = 0.0
+        else:
+            hit_rate = estimate_hit_rate(profile, self.l2_capacity_bytes, self.l2_line_bytes)
+        l2_hits = int(round(hit_rate * result.transactions))
+        dram_accesses = result.transactions - l2_hits
+        # DRAM sees the miss stream; its locality mirrors the transaction
+        # stream's (misses preserve order through the L2 miss queue).
+        return MemoryStats(
+            accesses=result.accesses,
+            transactions=result.transactions,
+            l2_hits=l2_hits,
+            dram_accesses=dram_accesses,
+            dram_bytes=dram_accesses * SECTOR_BYTES,
+            row_hit_fraction=row_hit_fraction(result.line_ids, row_bytes=self.dram.row_bytes),
+        )
+
+    def dram_time_s(self, stats: MemoryStats) -> float:
+        return self._dram_model.transfer_time_s(stats.dram_traffic())
+
+    def dram_dynamic_energy_j(self, stats: MemoryStats) -> float:
+        return self._dram_model.dynamic_energy_j(stats.dram_traffic())
+
+    def dram_static_energy_j(self, elapsed_s: float) -> float:
+        return self._dram_model.static_energy_j(elapsed_s)

@@ -1,0 +1,68 @@
+"""Analytic cache-hit estimation for large access streams.
+
+The phase-level timing model needs an L2 hit rate for streams of
+millions of transactions.  Rather than simulate every access, we use a
+capacity-based reuse model:
+
+* every *first* access to a line is a compulsory miss;
+* a *reuse* hits with probability ``min(1, capacity_lines / working_set
+  lines)`` — if the working set fits, (almost) every reuse hits; if it
+  is ``k`` times the capacity, roughly ``1/k`` of reuses find their line
+  still resident.
+
+This is the classic "fractional residency" approximation.  Tests
+validate it against the exact simulator on streams spanning fitting,
+2x-over and 8x-over working sets, where it tracks simulated hit rate
+within a few percentage points — enough fidelity for the timing model,
+whose conclusions hinge on transaction *counts*, not hit-rate decimals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LocalityProfile:
+    """Reuse structure of one access stream (in cache-line units)."""
+
+    accesses: int
+    unique_lines: int
+
+    @property
+    def reuses(self) -> int:
+        return self.accesses - self.unique_lines
+
+
+def profile_lines(line_ids: np.ndarray) -> LocalityProfile:
+    """Measure the reuse structure of a stream of line ids."""
+    line_ids = np.asarray(line_ids, dtype=np.int64)
+    if line_ids.size == 0:
+        return LocalityProfile(0, 0)
+    return LocalityProfile(int(line_ids.size), int(np.unique(line_ids).size))
+
+
+def estimate_hit_rate(
+    profile: LocalityProfile, capacity_bytes: int, line_bytes: int
+) -> float:
+    """Estimate the hit rate of ``profile`` on a cache of the given size."""
+    if capacity_bytes <= 0 or line_bytes <= 0:
+        raise ConfigError("cache capacity and line size must be positive")
+    if profile.accesses == 0:
+        return 0.0
+    capacity_lines = capacity_bytes / line_bytes
+    residency = min(1.0, capacity_lines / max(profile.unique_lines, 1))
+    return (profile.reuses * residency) / profile.accesses
+
+
+def estimate_hits(
+    line_ids: np.ndarray, capacity_bytes: int, line_bytes: int
+) -> int:
+    """Convenience wrapper: estimated hit count for a line-id stream."""
+    profile = profile_lines(line_ids)
+    rate = estimate_hit_rate(profile, capacity_bytes, line_bytes)
+    return int(round(rate * profile.accesses))

@@ -1,0 +1,70 @@
+"""Small shared helpers used across the package."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ReproError
+
+
+def rng_from_seed(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a NumPy random generator from a seed or pass one through.
+
+    ``None`` maps to a fixed default seed so that every artifact in this
+    repository is deterministic unless the caller opts out explicitly.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = 0x5C0  # "SCU" in spirit: fixed default for deterministic artifacts
+    return np.random.default_rng(seed)
+
+
+def require(condition: bool, message: str, error: type[ReproError] = ReproError) -> None:
+    """Raise ``error(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise error(message)
+
+
+def as_int_array(values: Iterable[int] | np.ndarray, name: str = "array") -> np.ndarray:
+    """Convert ``values`` to a contiguous int64 array, validating dtype."""
+    arr = np.ascontiguousarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ReproError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def as_float_array(values: Iterable[float] | np.ndarray, name: str = "array") -> np.ndarray:
+    """Convert ``values`` to a contiguous float64 array, validating shape."""
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ReproError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def chunked(seq: Sequence, size: int) -> Iterable[Sequence]:
+    """Yield ``seq`` in chunks of at most ``size`` elements."""
+    if size <= 0:
+        raise ReproError(f"chunk size must be positive, got {size}")
+    for start in range(0, len(seq), size):
+        yield seq[start : start + size]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; the paper averages ratios this way."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ReproError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Format ``value`` with an SI prefix (k, M, G) for human-readable tables."""
+    for threshold, prefix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f} {prefix}{unit}".rstrip()
+    return f"{value:.2f} {unit}".rstrip()

@@ -1,0 +1,118 @@
+"""BFS correctness and cost-report structure across all system variants."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SystemMode, bfs_reference, run_algorithm, run_bfs
+from repro.core import build_system
+from repro.errors import SimulationError
+from repro.graph import build_csr
+from repro.graph.generators import (
+    generate_collaboration,
+    generate_kron,
+    generate_road_network,
+)
+from repro.phases import Engine, PhaseKind
+
+GRAPHS = {
+    "kron": generate_kron(scale=9, edge_factor=8, seed=11),
+    "road": generate_road_network(side=24, seed=12),
+    "collab": generate_collaboration(num_authors=600, num_papers=1200, seed=13),
+}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+    @pytest.mark.parametrize("mode", list(SystemMode))
+    def test_matches_reference(self, graph_name, mode):
+        graph = GRAPHS[graph_name]
+        dist, _, _ = run_algorithm("bfs", graph, "TX1", mode, source=0)
+        assert np.array_equal(dist, bfs_reference(graph, 0))
+
+    @pytest.mark.parametrize("mode", list(SystemMode))
+    def test_matches_reference_on_gtx980(self, mode):
+        graph = GRAPHS["kron"]
+        dist, _, _ = run_algorithm("bfs", graph, "GTX980", mode, source=3)
+        assert np.array_equal(dist, bfs_reference(graph, 3))
+
+    def test_disconnected_nodes_unreached(self):
+        graph = build_csr(4, np.array([0]), np.array([1]))
+        dist, _, _ = run_algorithm("bfs", graph, "TX1", SystemMode.GPU, source=0)
+        assert dist[0] == 0 and dist[1] == 1
+        assert dist[2] == -1 and dist[3] == -1
+
+    def test_single_node_source(self):
+        graph = build_csr(1, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        dist, report, _ = run_algorithm("bfs", graph, "TX1", SystemMode.GPU, source=0)
+        assert dist[0] == 0
+        assert report.time_s() >= 0
+
+    def test_paper_figure2_distances(self):
+        # Figure 2c: BFS distances from A over the reference graph.
+        offsets = np.array([0, 3, 5, 6, 8, 8, 8, 8])
+        edges = np.array([1, 2, 3, 4, 5, 5, 2, 6])
+        graph = build_csr(
+            7,
+            np.repeat(np.arange(7), np.diff(offsets)),
+            edges,
+            symmetrize=False,
+            deduplicate=False,
+        )
+        dist, _, _ = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED, source=0)
+        assert list(dist) == [0, 1, 1, 1, 2, 2, 2]
+
+
+class TestReports:
+    def make_report(self, mode, gpu="TX1"):
+        _, report, _ = run_algorithm("bfs", GRAPHS["kron"], gpu, mode, source=0)
+        return report
+
+    def test_gpu_mode_has_no_scu_phases(self):
+        report = self.make_report(SystemMode.GPU)
+        assert not report.select(engine=Engine.SCU)
+
+    def test_scu_modes_have_scu_compaction(self):
+        for mode in (SystemMode.SCU_BASIC, SystemMode.SCU_ENHANCED):
+            report = self.make_report(mode)
+            scu_phases = report.select(engine=Engine.SCU)
+            assert scu_phases
+            assert all(p.kind is PhaseKind.COMPACTION for p in scu_phases)
+
+    def test_baseline_compaction_fraction_in_figure1_band(self):
+        report = self.make_report(SystemMode.GPU)
+        assert 0.2 < report.compaction_time_fraction() < 0.9
+
+    def test_enhanced_reduces_gpu_instructions(self):
+        base = self.make_report(SystemMode.GPU)
+        enhanced = self.make_report(SystemMode.SCU_ENHANCED)
+        gpu_base = base.instructions(engine=Engine.GPU)
+        gpu_enh = enhanced.instructions(engine=Engine.GPU)
+        # Section 6.3: filtering removes ~71% of BFS GPU instructions.
+        assert gpu_enh < 0.6 * gpu_base
+
+    def test_enhanced_is_fastest_system(self):
+        times = {
+            mode: self.make_report(mode).time_s() for mode in SystemMode
+        }
+        assert times[SystemMode.SCU_ENHANCED] < times[SystemMode.GPU]
+
+    def test_enhanced_saves_energy(self):
+        base = self.make_report(SystemMode.GPU)
+        enh = self.make_report(SystemMode.SCU_ENHANCED)
+        assert enh.total_energy_j() < base.total_energy_j()
+
+    def test_static_energy_positive(self):
+        report = self.make_report(SystemMode.GPU)
+        assert report.static_energy_j > 0
+
+    def test_phase_names_prefixed(self):
+        report = self.make_report(SystemMode.SCU_BASIC)
+        for phase in report:
+            assert phase.name.startswith(("bfs.", "scu."))
+
+
+class TestErrors:
+    def test_scu_mode_requires_scu(self):
+        system = build_system("TX1", with_scu=False)
+        with pytest.raises(SimulationError, match="requires a system with an SCU"):
+            run_bfs(GRAPHS["road"], system, SystemMode.SCU_BASIC)

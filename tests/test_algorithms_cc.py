@@ -1,0 +1,98 @@
+"""Connected Components (extension primitive) correctness and reports."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    SystemMode,
+    connected_components_reference,
+    run_algorithm,
+)
+from repro.graph import build_csr, to_networkx
+from repro.graph.generators import (
+    generate_collaboration,
+    generate_kron,
+    generate_road_network,
+)
+from repro.phases import Engine
+
+GRAPHS = {
+    "collab": generate_collaboration(num_authors=700, num_papers=900, seed=41),
+    "road": generate_road_network(side=18, seed=42),
+    "kron": generate_kron(scale=8, edge_factor=6, seed=43),
+}
+
+
+class TestReference:
+    def test_two_components(self):
+        graph = build_csr(
+            5, np.array([0, 1, 3]), np.array([1, 0, 4]), symmetrize=True
+        )
+        labels = connected_components_reference(graph)
+        assert labels[0] == labels[1]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[2] == 2  # isolated node keeps its own id
+
+    def test_matches_networkx(self):
+        graph = GRAPHS["collab"]
+        labels = connected_components_reference(graph)
+        undirected = to_networkx(graph).to_undirected()
+        for component in nx.connected_components(undirected):
+            component = list(component)
+            assert len({labels[n] for n in component}) == 1
+
+    def test_labels_are_component_minimum(self):
+        graph = GRAPHS["road"]
+        labels = connected_components_reference(graph)
+        for component in np.unique(labels):
+            members = np.nonzero(labels == component)[0]
+            assert component == members.min()
+
+
+class TestSimulatedCC:
+    @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+    @pytest.mark.parametrize("mode", list(SystemMode))
+    def test_matches_reference(self, graph_name, mode):
+        graph = GRAPHS[graph_name]
+        labels, _, _ = run_algorithm("connected_components", graph, "TX1", mode)
+        assert np.array_equal(labels, connected_components_reference(graph))
+
+    def test_gtx980(self):
+        graph = GRAPHS["kron"]
+        labels, _, _ = run_algorithm(
+            "connected_components", graph, "GTX980", SystemMode.SCU_ENHANCED
+        )
+        assert np.array_equal(labels, connected_components_reference(graph))
+
+    def test_scu_modes_emit_scu_phases(self):
+        _, report, _ = run_algorithm(
+            "connected_components", GRAPHS["collab"], "TX1", SystemMode.SCU_BASIC
+        )
+        assert report.select(engine=Engine.SCU)
+
+    def test_enhanced_filtering_reduces_gpu_work(self):
+        graph = GRAPHS["kron"]
+        _, base, _ = run_algorithm("connected_components", graph, "TX1", SystemMode.GPU)
+        _, enh, _ = run_algorithm(
+            "connected_components", graph, "TX1", SystemMode.SCU_ENHANCED
+        )
+        assert enh.instructions(engine=Engine.GPU) < base.instructions(engine=Engine.GPU)
+
+    def test_offload_speeds_up_traversal(self):
+        graph = GRAPHS["collab"]
+        _, base, _ = run_algorithm("connected_components", graph, "TX1", SystemMode.GPU)
+        _, enh, _ = run_algorithm(
+            "connected_components", graph, "TX1", SystemMode.SCU_ENHANCED
+        )
+        assert enh.time_s() < base.time_s()
+
+    def test_empty_frontier_terminates_immediately(self):
+        graph = build_csr(
+            3, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        labels, report, _ = run_algorithm(
+            "connected_components", graph, "TX1", SystemMode.GPU
+        )
+        assert list(labels) == [0, 1, 2]

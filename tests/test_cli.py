@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(["run", "bfs", "kron", "--gpu", "GTX980"])
+        args2 = build_parser().parse_args(["run", "sssp", "ca", "--source", "3"])
+        assert args.algorithm == "bfs" and args.gpu == "GTX980"
+        assert args2.source == 3
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "dfs", "kron"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bfs", "twitter"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig12", "--quick"])
+        assert args.id == "fig12" and args.quick
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ca", "cond", "delaunay", "human", "kron", "msdoor"):
+            assert name in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX980" in out and "TX1" in out
+        assert "13.27 mm2" in out and "3.65 mm2" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "bfs", "human"]) == 0
+        out = capsys.readouterr().out
+        assert "scu-enhanced" in out and "mJ" in out
+
+    def test_run_pagerank_ignores_source(self, capsys):
+        assert main(["run", "pagerank", "human", "--source", "5"]) == 0
+
+    def test_experiment_table(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Vector Buffering" in out
+
+    def test_experiment_figure_quick(self, capsys):
+        assert main(["experiment", "fig12", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "AVG" in out

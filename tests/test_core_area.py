@@ -1,0 +1,62 @@
+"""Tests for the per-component area/power breakdown."""
+
+import pytest
+
+from repro.core import SCU_GTX980, SCU_TX1
+from repro.core.area import (
+    area_breakdown,
+    power_breakdown_w,
+    render_synthesis_report,
+    total_area_mm2,
+)
+from repro.core.energy import scu_static_power_w
+
+
+class TestAreaBreakdown:
+    @pytest.mark.parametrize("config", [SCU_TX1, SCU_GTX980], ids=lambda c: c.name)
+    def test_sums_to_headline_area(self, config):
+        assert total_area_mm2(config) == pytest.approx(config.area_mm2, rel=1e-9)
+
+    def test_paper_synthesis_points(self):
+        assert total_area_mm2(SCU_GTX980) == pytest.approx(13.27, abs=0.01)
+        assert total_area_mm2(SCU_TX1) == pytest.approx(3.65, abs=0.01)
+
+    def test_all_components_positive(self):
+        for config in (SCU_TX1, SCU_GTX980):
+            for row in area_breakdown(config):
+                assert row.area_mm2 > 0, row
+
+    def test_lane_components_scale_with_width(self):
+        wide = SCU_TX1.with_pipeline_width(8)
+        narrow_rows = {r.component: r.scaled(1) for r in area_breakdown(SCU_TX1)}
+        wide_rows = {r.component: r.scaled(8) for r in area_breakdown(wide)}
+        for component, narrow_area in narrow_rows.items():
+            if "per lane" in component:
+                assert wide_rows[component] == pytest.approx(8 * narrow_area)
+            else:
+                assert wide_rows[component] == pytest.approx(narrow_area)
+
+    def test_buffer_area_matches_table1_sizes(self):
+        rows = {r.component: r.area_mm2 for r in area_breakdown(SCU_TX1)}
+        expected_kb = (5 + 38 + 18)
+        assert rows["buffers (Table 1 SRAM)"] == pytest.approx(expected_kb * 0.005)
+
+
+class TestPowerBreakdown:
+    @pytest.mark.parametrize("config", [SCU_TX1, SCU_GTX980], ids=lambda c: c.name)
+    def test_sums_to_static_power(self, config):
+        total = sum(p for _, p in power_breakdown_w(config))
+        assert total == pytest.approx(scu_static_power_w(config), rel=1e-9)
+
+    def test_wider_unit_leaks_more(self):
+        narrow = sum(p for _, p in power_breakdown_w(SCU_TX1))
+        wide = sum(p for _, p in power_breakdown_w(SCU_GTX980))
+        assert wide > narrow
+
+
+class TestReport:
+    def test_render_contains_totals(self):
+        text = render_synthesis_report(SCU_GTX980)
+        assert "13.27" in text
+        assert "data store" in text
+        assert "TOTAL" in text

@@ -1,0 +1,113 @@
+"""Tests for SCU configuration, area model, and Tables 1-2 rendering."""
+
+import pytest
+
+from repro.core import SCU_CONFIGS, SCU_GTX980, SCU_TX1, HashTableConfig, ScuConfig
+from repro.core.energy import scu_static_power_w
+from repro.errors import ConfigError
+from repro.gpu import GTX980, TX1
+
+
+class TestTable1:
+    def test_buffer_sizes(self):
+        for config in (SCU_GTX980, SCU_TX1):
+            assert config.vector_buffer_bytes == 5 * 1024
+            assert config.fifo_request_buffer_bytes == 38 * 1024
+            assert config.hash_request_buffer_bytes == 18 * 1024
+
+    def test_coalescer_parameters(self):
+        assert SCU_GTX980.coalescer_inflight == 32
+        assert SCU_GTX980.coalescer_merge_window == 4
+
+    def test_frequencies_match_gpus(self):
+        assert SCU_GTX980.clock_hz == GTX980.clock_hz
+        assert SCU_TX1.clock_hz == TX1.clock_hz
+
+    def test_render(self):
+        rows = dict(SCU_GTX980.describe_table1())
+        assert rows["Technology, Frequency"] == "32 nm, 1.27GHz"
+        assert rows["Coalescing Unit"] == "32 in-flight requests, 4-merge"
+
+
+class TestTable2:
+    def test_pipeline_widths(self):
+        assert SCU_GTX980.pipeline_width == 4
+        assert SCU_TX1.pipeline_width == 1
+
+    def test_hash_sizes_gtx980(self):
+        assert SCU_GTX980.filter_bfs_hash.capacity_bytes == 1024 * 1024
+        assert SCU_GTX980.filter_sssp_hash.capacity_bytes == 1536 * 1024
+
+    def test_hash_sizes_tx1(self):
+        assert SCU_TX1.filter_bfs_hash.capacity_bytes == 132 * 1024
+        assert SCU_TX1.grouping_hash.capacity_bytes == 144 * 1024
+
+    def test_entry_sizes(self):
+        assert SCU_TX1.filter_bfs_hash.bytes_per_entry == 4  # unique id
+        assert SCU_TX1.filter_sssp_hash.bytes_per_entry == 8  # id + cost
+        assert SCU_TX1.grouping_hash.bytes_per_entry == 32  # 8 x 4B group
+
+    def test_render(self):
+        rows = dict(SCU_GTX980.describe_table2())
+        assert rows["Pipeline Width"] == "4 elements/cycle"
+        assert rows["Filtering BFS Hash"] == "1 MB, 16-way, 4 bytes/line"
+        assert dict(SCU_TX1.describe_table2())["Filtering BFS Hash"] == (
+            "132 KB, 16-way, 4 bytes/line"
+        )
+
+
+class TestAreaModel:
+    def test_paper_synthesis_points(self):
+        """Section 6.4: 13.27 mm2 (GTX980) and 3.65 mm2 (TX1)."""
+        assert SCU_GTX980.area_mm2 == pytest.approx(13.27, abs=0.01)
+        assert SCU_TX1.area_mm2 == pytest.approx(3.65, abs=0.01)
+
+    def test_paper_overhead_percentages(self):
+        """Section 6.4: 3.3 % and 4.1 % of total area."""
+        hp = SCU_GTX980.area_overhead_fraction(GTX980.die_area_mm2)
+        lp = SCU_TX1.area_overhead_fraction(TX1.die_area_mm2)
+        assert hp == pytest.approx(0.033, abs=0.003)
+        assert lp == pytest.approx(0.041, abs=0.003)
+
+    def test_area_monotone_in_width(self):
+        widths = [SCU_TX1.with_pipeline_width(w).area_mm2 for w in (1, 2, 4, 8)]
+        assert widths == sorted(widths)
+
+    def test_bad_die_area_rejected(self):
+        with pytest.raises(ConfigError):
+            SCU_TX1.area_overhead_fraction(0)
+
+    def test_static_power_scales_with_area(self):
+        assert scu_static_power_w(SCU_TX1) < scu_static_power_w(SCU_GTX980)
+
+
+class TestVariants:
+    def test_with_pipeline_width(self):
+        wide = SCU_TX1.with_pipeline_width(8)
+        assert wide.pipeline_width == 8
+        assert wide.filter_bfs_hash == SCU_TX1.filter_bfs_hash
+
+    def test_with_hash_scale(self):
+        scaled = SCU_GTX980.with_hash_scale(0.5)
+        assert scaled.filter_bfs_hash.capacity_bytes == 512 * 1024
+        assert scaled.pipeline_width == SCU_GTX980.pipeline_width
+
+    def test_hash_scale_never_drops_to_zero(self):
+        scaled = SCU_TX1.with_hash_scale(1e-9)
+        assert scaled.filter_bfs_hash.num_entries >= 1
+
+    def test_elements_per_second(self):
+        assert SCU_GTX980.elements_per_second == pytest.approx(4 * 1.27e9)
+
+
+class TestValidation:
+    def test_bad_pipeline_width(self):
+        with pytest.raises(ConfigError):
+            SCU_TX1.with_pipeline_width(0)
+
+    def test_bad_hash_geometry(self):
+        with pytest.raises(ConfigError):
+            HashTableConfig("bad", capacity_bytes=10, ways=1, bytes_per_entry=4)
+
+    def test_registry(self):
+        assert set(SCU_CONFIGS) == {"GTX980", "TX1"}

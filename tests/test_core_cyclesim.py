@@ -1,0 +1,111 @@
+"""Tests for the cycle-level SCU pipeline simulator, and its agreement
+with the analytic throughput model used by the experiments."""
+
+import pytest
+
+from repro.core import SCU_GTX980, SCU_TX1
+from repro.core.cyclesim import CycleSimResult, ScuPipelineSim, StageQueue
+from repro.errors import ConfigError, SimulationError
+
+
+class TestStageQueue:
+    def test_push_pop(self):
+        q = StageQueue(capacity=4)
+        q.push(3)
+        assert q.occupancy == 3 and not q.full
+        q.pop(3)
+        assert q.empty
+
+    def test_overflow(self):
+        q = StageQueue(capacity=2)
+        with pytest.raises(SimulationError):
+            q.push(3)
+
+    def test_underflow(self):
+        with pytest.raises(SimulationError):
+            StageQueue(capacity=2).pop()
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            StageQueue(capacity=0)
+
+
+class TestPipelineSim:
+    def test_zero_elements(self):
+        sim = ScuPipelineSim(SCU_TX1)
+        result = sim.run(0)
+        assert result == CycleSimResult(0, 0, 0, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            ScuPipelineSim(SCU_TX1).run(-1)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            ScuPipelineSim(SCU_TX1, memory_latency_cycles=0)
+        with pytest.raises(ConfigError):
+            ScuPipelineSim(SCU_TX1, memory_bandwidth_elems=0)
+
+    def test_width1_sustains_one_element_per_cycle(self):
+        """With ample memory bandwidth the TX1 pipeline streams at width."""
+        sim = ScuPipelineSim(SCU_TX1, memory_latency_cycles=40, memory_bandwidth_elems=8)
+        result = sim.run(20_000)
+        assert result.elements_per_cycle == pytest.approx(1.0, rel=0.02)
+
+    def test_width4_sustains_four_per_cycle(self):
+        sim = ScuPipelineSim(
+            SCU_GTX980, memory_latency_cycles=40, memory_bandwidth_elems=16
+        )
+        result = sim.run(40_000)
+        assert result.elements_per_cycle == pytest.approx(4.0, rel=0.05)
+
+    def test_memory_bound_regime(self):
+        """Bandwidth below width caps throughput at the memory rate."""
+        sim = ScuPipelineSim(
+            SCU_GTX980, memory_latency_cycles=40, memory_bandwidth_elems=2
+        )
+        result = sim.run(20_000)
+        assert result.elements_per_cycle == pytest.approx(2.0, rel=0.05)
+        assert result.stall_fraction > 0.1
+
+    def test_latency_hidden_by_fifo(self):
+        """Table 1's deep FIFO hides even long memory latencies."""
+        short = ScuPipelineSim(SCU_TX1, memory_latency_cycles=20).run(10_000)
+        long = ScuPipelineSim(SCU_TX1, memory_latency_cycles=400).run(10_000)
+        # Only the fill ramp differs; steady-state rate is unchanged.
+        assert long.cycles - short.cycles == pytest.approx(380, abs=20)
+
+    def test_fetch_queue_bounded_by_table1(self):
+        sim = ScuPipelineSim(SCU_TX1, memory_latency_cycles=100_000 // 8)
+        result = sim.run(50_000)
+        assert result.peak_fetch_queue <= SCU_TX1.fifo_request_buffer_bytes // 4
+
+    def test_reset(self):
+        sim = ScuPipelineSim(SCU_TX1)
+        sim.run(100)
+        sim.reset()
+        result = sim.run(100)
+        assert result.elements == 100
+
+
+class TestAnalyticModelValidation:
+    """The experiments' analytic op-time must track the cycle simulator."""
+
+    @pytest.mark.parametrize("config", [SCU_TX1, SCU_GTX980], ids=lambda c: c.name)
+    def test_pipeline_bound_agreement(self, config):
+        elements = 50_000
+        # Ample memory: analytic model predicts elements / width cycles.
+        sim = ScuPipelineSim(config, memory_latency_cycles=60, memory_bandwidth_elems=32)
+        result = sim.run(elements)
+        analytic_cycles = elements / config.pipeline_width
+        assert result.cycles == pytest.approx(analytic_cycles, rel=0.05)
+
+    @pytest.mark.parametrize("bandwidth", [1.0, 2.0])
+    def test_memory_bound_agreement(self, bandwidth):
+        elements = 40_000
+        sim = ScuPipelineSim(
+            SCU_GTX980, memory_latency_cycles=60, memory_bandwidth_elems=bandwidth
+        )
+        result = sim.run(elements)
+        analytic_cycles = elements / bandwidth  # memory term dominates
+        assert result.cycles == pytest.approx(analytic_cycles, rel=0.06)

@@ -1,0 +1,133 @@
+"""Tests for SCU operation programs (the programmable-unit surface)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_system
+from repro.core.ops import expanded_indices
+from repro.core.program import (
+    OPERATION_SIGNATURES,
+    ScuProgram,
+    ScuStep,
+    bfs_contraction_program,
+    bfs_expansion_program,
+    enhanced_bfs_contraction_program,
+    pr_expansion_program,
+    sssp_expansion_program,
+)
+from repro.errors import OperationError
+
+
+@pytest.fixture
+def system():
+    return build_system("TX1")
+
+
+def csr_buffers(system):
+    """Figure 2's CSR arrays as program buffers."""
+    ctx = system.ctx
+    return {
+        "edges": ctx.array("edges", np.array([1, 2, 3, 4, 5, 5, 2, 6])),
+        "weights": ctx.array("weights", np.array([2.0, 3.0, 1.0, 1.0, 1.0, 2.0, 1.0, 2.0])),
+        "indexes": ctx.array("indexes", np.array([0, 3, 5])),
+        "count": ctx.array("count", np.array([3, 2, 1])),
+        "costs": ctx.array("costs", np.array([0.0, 2.0, 3.0])),
+        "contrib": ctx.array("contrib", np.array([0.5, 0.25, 1.0])),
+    }
+
+
+class TestStepValidation:
+    def test_unknown_operation(self):
+        with pytest.raises(OperationError, match="unknown SCU operation"):
+            ScuStep("transpose", {}, "out")
+
+    def test_missing_operand(self):
+        with pytest.raises(OperationError, match="missing operands"):
+            ScuStep("data_compaction", {"data": "x"}, "out")
+
+    def test_describe(self):
+        step = ScuStep("data_compaction", {"data": "ef", "bitmask": "m"}, "nf")
+        assert step.describe() == "nf <- data_compaction(data=ef, bitmask=m)"
+
+    def test_every_signature_buildable(self):
+        for op, required in OPERATION_SIGNATURES.items():
+            step = ScuStep(op, {name: name for name in required}, "out")
+            assert step.operation == op
+
+
+class TestProgramValidation:
+    def test_undefined_buffer_rejected(self):
+        program = ScuProgram("p").add(
+            "data_compaction", "nf", data="ef", bitmask="mask"
+        )
+        with pytest.raises(OperationError, match="undefined buffer"):
+            program.validate(["ef"])  # mask missing
+
+    def test_intermediate_buffers_become_defined(self):
+        program = enhanced_bfs_contraction_program()
+        program.validate(["ef"])  # filter_mask defined by step 0
+
+    def test_describe_lists_steps(self):
+        text = sssp_expansion_program().describe()
+        assert "0: ef <- expansion" in text
+        assert "2: wf <- replication" in text
+
+
+class TestExecution:
+    def test_bfs_expansion_program(self, system):
+        buffers = csr_buffers(system)
+        env, reports = bfs_expansion_program().run(system.scu, buffers)
+        assert list(env["ef"].values) == [1, 2, 3, 4, 5, 5]
+        assert len(reports) == 1
+        assert reports[0].engine.value == "scu"
+
+    def test_bfs_contraction_program(self, system):
+        buffers = {
+            "ef": system.ctx.array("ef", np.array([4, 5, 5, 2, 6])),
+            "mask": system.ctx.bitmask(
+                "mask", np.array([True, True, False, False, True])
+            ),
+        }
+        env, _ = bfs_contraction_program().run(system.scu, buffers)
+        assert list(env["nf"].values) == [4, 5, 6]
+
+    def test_sssp_expansion_program(self, system):
+        buffers = csr_buffers(system)
+        env, reports = sssp_expansion_program().run(system.scu, buffers)
+        assert list(env["ef"].values) == [1, 2, 3, 4, 5, 5]
+        assert list(env["ew"].values) == [2.0, 3.0, 1.0, 1.0, 1.0, 2.0]
+        # replication of per-node costs by degree
+        assert list(env["wf"].values) == [0.0, 0.0, 0.0, 2.0, 2.0, 3.0]
+        assert len(reports) == 3
+
+    def test_pr_expansion_program(self, system):
+        buffers = csr_buffers(system)
+        env, _ = pr_expansion_program().run(system.scu, buffers)
+        assert list(env["wf"].values) == [0.5, 0.5, 0.5, 0.25, 0.25, 1.0]
+
+    def test_enhanced_contraction_filters_duplicates(self, system):
+        buffers = {"ef": system.ctx.array("ef", np.array([5, 5, 2, 5, 2, 6]))}
+        env, reports = enhanced_bfs_contraction_program().run(system.scu, buffers)
+        assert sorted(env["nf"].values.tolist()) == [2, 5, 6]
+        assert len(reports) == 2
+
+    def test_program_matches_direct_api(self, system):
+        """A program and the equivalent direct calls agree bit-for-bit."""
+        buffers = csr_buffers(system)
+        env, _ = bfs_expansion_program().run(system.scu, buffers)
+        direct, _ = system.scu.access_expansion_compaction(
+            buffers["edges"], buffers["indexes"], buffers["count"], out="direct"
+        )
+        assert np.array_equal(env["ef"].values, direct.values)
+
+    def test_bitmask_step_parameters(self, system):
+        program = ScuProgram("p").add(
+            "bitmask", "mask", data="data", comparison="gt", reference=3
+        ).add("data_compaction", "out", data="data", bitmask="mask")
+        buffers = {"data": system.ctx.array("d", np.array([1, 4, 2, 9]))}
+        env, _ = program.run(system.scu, buffers)
+        assert list(env["out"].values) == [4, 9]
+
+    def test_run_rejects_missing_inputs(self, system):
+        with pytest.raises(OperationError, match="undefined buffer"):
+            bfs_expansion_program().run(system.scu, {})

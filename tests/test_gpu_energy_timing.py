@@ -1,0 +1,136 @@
+"""Focused tests for the GPU timing/energy knobs added for calibration."""
+
+import pytest
+
+from repro.gpu import GTX980, TX1, GpuDevice, KernelSpec, kernel_timing
+from repro.gpu.energy import kernel_dynamic_energy_j, system_static_power_w
+from repro.errors import SimulationError
+from repro.mem import MemoryStats, sequential_addresses
+from repro.phases import PhaseKind
+
+
+def memory_stats(transactions, *, row_hit=0.5):
+    return MemoryStats(
+        accesses=transactions,
+        transactions=transactions,
+        dram_accesses=transactions,
+        dram_bytes=32 * transactions,
+        row_hit_fraction=row_hit,
+    )
+
+
+class TestMemoryEfficiency:
+    def test_lower_efficiency_slows_memory_terms(self):
+        device = GpuDevice(TX1)
+        stats = memory_stats(1 << 20)
+        fast = kernel_timing(
+            device.config, device.hierarchy, instructions=0, memory=stats,
+            memory_efficiency=1.0,
+        )
+        slow = kernel_timing(
+            device.config, device.hierarchy, instructions=0, memory=stats,
+            memory_efficiency=0.5,
+        )
+        assert slow.dram_s == pytest.approx(2 * fast.dram_s)
+        assert slow.l2_s == pytest.approx(2 * fast.l2_s)
+
+    def test_efficiency_does_not_touch_compute(self):
+        device = GpuDevice(TX1)
+        a = kernel_timing(
+            device.config, device.hierarchy, instructions=10**8,
+            memory=MemoryStats(), memory_efficiency=0.5,
+        )
+        b = kernel_timing(
+            device.config, device.hierarchy, instructions=10**8,
+            memory=MemoryStats(), memory_efficiency=1.0,
+        )
+        assert a.compute_s == b.compute_s
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SimulationError):
+            KernelSpec("k", PhaseKind.PROCESSING, threads=1, memory_efficiency=0.0)
+
+
+class TestDramOverride:
+    def test_override_wins(self):
+        device = GpuDevice(TX1)
+        timing = kernel_timing(
+            device.config, device.hierarchy, instructions=0,
+            memory=memory_stats(1000), dram_s_override=1.0,
+        )
+        assert timing.dram_s == 1.0
+
+
+class TestEffectiveMlp:
+    def test_tx1_more_latency_bound_than_gtx980(self):
+        stats = memory_stats(1 << 16)
+        tx1 = kernel_timing(TX1, GpuDevice(TX1).hierarchy, instructions=0, memory=stats)
+        hp = kernel_timing(
+            GTX980, GpuDevice(GTX980).hierarchy, instructions=0, memory=stats
+        )
+        assert tx1.latency_s > 10 * hp.latency_s
+
+    def test_latency_term_scales_with_transactions(self):
+        device = GpuDevice(TX1)
+        small = kernel_timing(
+            device.config, device.hierarchy, instructions=0, memory=memory_stats(1000)
+        )
+        large = kernel_timing(
+            device.config, device.hierarchy, instructions=0, memory=memory_stats(4000)
+        )
+        assert large.latency_s == pytest.approx(4 * small.latency_s)
+
+
+class TestExtraOverhead:
+    def test_extra_overhead_added_to_phase_time(self):
+        device = GpuDevice(TX1)
+        base = device.run(KernelSpec("a", PhaseKind.COMPACTION, threads=0))
+        padded = device.run(
+            KernelSpec("b", PhaseKind.COMPACTION, threads=0, extra_overhead_s=1e-3)
+        )
+        assert padded.time_s == pytest.approx(base.time_s + 1e-3)
+
+
+class TestEnergyModel:
+    def test_active_power_term(self):
+        device = GpuDevice(TX1)
+        idle = kernel_dynamic_energy_j(
+            device.config, device.hierarchy, instructions=0,
+            memory=MemoryStats(), busy_time_s=0.0,
+        )
+        busy = kernel_dynamic_energy_j(
+            device.config, device.hierarchy, instructions=0,
+            memory=MemoryStats(), busy_time_s=1.0,
+        )
+        assert busy - idle == pytest.approx(TX1.active_power_w)
+
+    def test_atomics_cost_energy(self):
+        device = GpuDevice(TX1)
+        without = kernel_dynamic_energy_j(
+            device.config, device.hierarchy, instructions=0, memory=MemoryStats()
+        )
+        with_atomics = kernel_dynamic_energy_j(
+            device.config, device.hierarchy, instructions=0,
+            memory=MemoryStats(), atomics=10**6,
+        )
+        assert with_atomics > without
+
+    def test_static_power_includes_dram(self):
+        assert system_static_power_w(TX1) == pytest.approx(
+            TX1.static_power_w + TX1.dram.static_power_w
+        )
+
+    def test_gtx980_burns_more_active_power(self):
+        assert GTX980.active_power_w > 10 * TX1.active_power_w
+
+    def test_row_misses_cost_more_dram_energy(self):
+        device = GpuDevice(GTX980)
+        hit = kernel_dynamic_energy_j(
+            device.config, device.hierarchy, instructions=0,
+            memory=memory_stats(10**6, row_hit=1.0),
+        )
+        miss = kernel_dynamic_energy_j(
+            device.config, device.hierarchy, instructions=0,
+            memory=memory_stats(10**6, row_hit=0.0),
+        )
+        assert miss > hit

@@ -1,0 +1,74 @@
+"""Tests for graph structural statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import build_csr, frontier_duplicate_rate, graph_stats
+from repro.graph.analysis import degree_gini, largest_component_fraction
+
+
+def star(n=10):
+    src = np.zeros(n - 1, dtype=np.int64)
+    dst = np.arange(1, n, dtype=np.int64)
+    return build_csr(n, src, dst)
+
+
+class TestDegreeGini:
+    def test_uniform_degrees_zero(self):
+        assert degree_gini(np.full(100, 5)) == pytest.approx(0.0, abs=0.02)
+
+    def test_single_hub_near_one(self):
+        degrees = np.zeros(100, dtype=np.int64)
+        degrees[0] = 1000
+        assert degree_gini(degrees) > 0.9
+
+    def test_empty(self):
+        assert degree_gini(np.array([], dtype=np.int64)) == 0.0
+
+    def test_all_zero(self):
+        assert degree_gini(np.zeros(10, dtype=np.int64)) == 0.0
+
+
+class TestLargestComponent:
+    def test_connected_graph(self):
+        g = build_csr(4, np.array([0, 1, 2]), np.array([1, 2, 3]), symmetrize=True)
+        assert largest_component_fraction(g) == 1.0
+
+    def test_two_halves(self):
+        g = build_csr(4, np.array([0, 2]), np.array([1, 3]), symmetrize=True)
+        assert largest_component_fraction(g) == 0.5
+
+    def test_empty_graph(self):
+        g = build_csr(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert largest_component_fraction(g) == pytest.approx(1 / 3)
+
+    def test_directed_edges_count_as_weak_links(self):
+        # one-directional edge still connects weakly
+        g = build_csr(2, np.array([0]), np.array([1]))
+        assert largest_component_fraction(g) == 1.0
+
+
+class TestGraphStats:
+    def test_star_stats(self):
+        stats = graph_stats(star(11))
+        assert stats.num_nodes == 11
+        assert stats.num_edges == 10
+        assert stats.max_degree == 10
+        assert stats.largest_component_fraction == 1.0
+
+    def test_as_row_units(self):
+        stats = graph_stats(star(2000))
+        name, nodes_k, edges_m, degree = stats.as_row()
+        assert nodes_k == 2.0
+        assert edges_m == pytest.approx(0.002)
+
+
+class TestFrontierDuplicateRate:
+    def test_no_duplicates(self):
+        assert frontier_duplicate_rate(np.arange(10)) == 0.0
+
+    def test_all_duplicates(self):
+        assert frontier_duplicate_rate(np.zeros(10, dtype=np.int64)) == 0.9
+
+    def test_empty(self):
+        assert frontier_duplicate_rate(np.array([], dtype=np.int64)) == 0.0

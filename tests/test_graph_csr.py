@@ -1,0 +1,177 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CsrGraph, build_csr
+
+
+def paper_graph() -> CsrGraph:
+    """The reference graph of Figure 2 of the paper (nodes A..G = 0..6)."""
+    offsets = np.array([0, 3, 5, 6, 8, 8, 8, 8])
+    edges = np.array([1, 2, 3, 4, 5, 5, 2, 6])
+    weights = np.array([2.0, 3.0, 1.0, 1.0, 1.0, 2.0, 1.0, 2.0])
+    return CsrGraph(offsets=offsets, edges=edges, weights=weights, name="fig2")
+
+
+class TestConstruction:
+    def test_paper_graph_shape(self):
+        g = paper_graph()
+        assert g.num_nodes == 7
+        assert g.num_edges == 8
+
+    def test_neighbors_of_a(self):
+        g = paper_graph()
+        assert list(g.neighbors(0)) == [1, 2, 3]  # A -> B, C, D
+
+    def test_neighbor_weights_of_a(self):
+        g = paper_graph()
+        assert list(g.neighbor_weights(0)) == [2.0, 3.0, 1.0]
+
+    def test_out_degrees_match_figure(self):
+        g = paper_graph()
+        assert list(g.out_degrees) == [3, 2, 1, 2, 0, 0, 0]
+
+    def test_average_degree(self):
+        g = paper_graph()
+        assert g.average_degree == pytest.approx(8 / 7)
+
+    def test_empty_graph(self):
+        g = CsrGraph(offsets=np.array([0]), edges=np.array([]), weights=np.array([]))
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.average_degree == 0.0
+
+    def test_single_node_no_edges(self):
+        g = CsrGraph(offsets=np.array([0, 0]), edges=np.array([]), weights=np.array([]))
+        assert g.num_nodes == 1
+        assert g.out_degree(0) == 0
+
+
+class TestValidation:
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(GraphError, match="start at 0"):
+            CsrGraph(offsets=np.array([1, 2]), edges=np.array([0]), weights=np.array([1.0]))
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(GraphError, match="non-decreasing"):
+            CsrGraph(
+                offsets=np.array([0, 2, 1]),
+                edges=np.array([0, 0]),
+                weights=np.array([1.0, 1.0]),
+            )
+
+    def test_terminator_must_match_edges(self):
+        with pytest.raises(GraphError, match="terminator"):
+            CsrGraph(
+                offsets=np.array([0, 3]), edges=np.array([0]), weights=np.array([1.0])
+            )
+
+    def test_weights_must_be_parallel(self):
+        with pytest.raises(GraphError, match="weights"):
+            CsrGraph(
+                offsets=np.array([0, 1]), edges=np.array([0]), weights=np.array([])
+            )
+
+    def test_edge_destination_range_checked(self):
+        with pytest.raises(GraphError, match="out of range"):
+            CsrGraph(
+                offsets=np.array([0, 1]), edges=np.array([5]), weights=np.array([1.0])
+            )
+
+    def test_node_query_range_checked(self):
+        g = paper_graph()
+        with pytest.raises(GraphError, match="out of range"):
+            g.neighbors(7)
+        with pytest.raises(GraphError, match="out of range"):
+            g.out_degree(-1)
+
+
+class TestTransformations:
+    def test_reversed_flips_every_edge(self):
+        g = paper_graph()
+        rev = g.reversed()
+        assert rev.num_edges == g.num_edges
+        # C (node 2) is reached from A and D in the original graph.
+        assert sorted(rev.neighbors(2).tolist()) == [0, 3]
+
+    def test_reversed_preserves_weights(self):
+        g = paper_graph()
+        rev = g.reversed()
+        # Edge A->C has weight 3; the reverse graph stores it under C.
+        idx = list(rev.neighbors(2)).index(0)
+        assert rev.neighbor_weights(2)[idx] == 3.0
+
+    def test_double_reverse_is_identity_topology(self):
+        g = paper_graph()
+        back = g.reversed().reversed()
+        for node in g:
+            assert sorted(back.neighbors(node).tolist()) == sorted(
+                g.neighbors(node).tolist()
+            )
+
+    def test_with_unit_weights(self):
+        g = paper_graph().with_unit_weights()
+        assert np.all(g.weights == 1.0)
+
+    def test_edge_sources_parallel_to_edges(self):
+        g = paper_graph()
+        sources = g.edge_sources()
+        assert list(sources) == [0, 0, 0, 1, 1, 2, 3, 3]
+
+
+class TestAddressHelpers:
+    def test_edge_address_scaling(self):
+        g = paper_graph()
+        addrs = g.edge_address(np.array([0, 1, 2]), base=1000, elem_bytes=4)
+        assert list(addrs) == [1000, 1004, 1008]
+
+    def test_node_address_scaling(self):
+        g = paper_graph()
+        addrs = g.node_address(np.array([3]), base=0, elem_bytes=8)
+        assert list(addrs) == [24]
+
+
+class TestBuilder:
+    def test_build_sorts_by_source(self):
+        g = build_csr(3, np.array([2, 0, 1]), np.array([0, 1, 2]))
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(2)) == [0]
+
+    def test_deduplicate_keeps_first_weight(self):
+        g = build_csr(
+            2,
+            np.array([0, 0]),
+            np.array([1, 1]),
+            np.array([5.0, 9.0]),
+            deduplicate=True,
+        )
+        assert g.num_edges == 1
+        assert g.weights[0] == 5.0
+
+    def test_symmetrize_doubles_edges(self):
+        g = build_csr(3, np.array([0]), np.array([1]), symmetrize=True)
+        assert g.num_edges == 2
+        assert list(g.neighbors(1)) == [0]
+
+    def test_self_loops_removed_by_default(self):
+        g = build_csr(2, np.array([0, 0]), np.array([0, 1]))
+        assert g.num_edges == 1
+
+    def test_self_loops_kept_when_requested(self):
+        g = build_csr(2, np.array([0]), np.array([0]), remove_self_loops=False)
+        assert g.num_edges == 1
+        assert list(g.neighbors(0)) == [0]
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(GraphError):
+            build_csr(2, np.array([0]), np.array([5]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(GraphError):
+            build_csr(2, np.array([0, 1]), np.array([1]))
+
+    def test_rejects_nonpositive_node_count(self):
+        with pytest.raises(GraphError):
+            build_csr(0, np.array([], dtype=np.int64), np.array([], dtype=np.int64))

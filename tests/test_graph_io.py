@@ -1,0 +1,147 @@
+"""Round-trip tests for the graph file formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    build_csr,
+    load_dimacs,
+    load_edge_list,
+    load_matrix_market,
+    save_dimacs,
+    save_edge_list,
+    save_matrix_market,
+)
+from repro.graph.generators import generate_road_network
+
+
+@pytest.fixture
+def small_graph():
+    return build_csr(
+        5,
+        np.array([0, 0, 1, 2, 3]),
+        np.array([1, 2, 3, 4, 0]),
+        np.array([2.0, 3.0, 1.0, 4.0, 5.0]),
+        name="tiny",
+    )
+
+
+class TestEdgeList:
+    def test_roundtrip(self, small_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_nodes == small_graph.num_nodes
+        assert np.array_equal(loaded.edges, small_graph.edges)
+        assert np.array_equal(loaded.weights, small_graph.weights)
+
+    def test_gzip_roundtrip(self, small_graph, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        save_edge_list(small_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_edges == small_graph.num_edges
+
+    def test_unweighted_lines_default_to_one(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        loaded = load_edge_list(path)
+        assert np.all(loaded.weights == 1.0)
+
+    def test_node_count_inferred_from_max_id(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 9\n")
+        assert load_edge_list(path).num_nodes == 10
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3 4\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("\n")
+        with pytest.raises(GraphFormatError, match="no edges"):
+            load_edge_list(path)
+
+
+class TestDimacs:
+    def test_roundtrip(self, small_graph, tmp_path):
+        path = tmp_path / "g.gr"
+        save_dimacs(small_graph, path)
+        loaded = load_dimacs(path)
+        assert loaded.num_nodes == small_graph.num_nodes
+        assert np.array_equal(loaded.edges, small_graph.edges)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("c comment\np sp 2 1\na 1 2 7\n")
+        loaded = load_dimacs(path)
+        assert loaded.num_edges == 1
+        assert loaded.weights[0] == 7.0
+
+    def test_missing_problem_line_raises(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("a 1 2 7\n")
+        with pytest.raises(GraphFormatError):
+            load_dimacs(path)
+
+    def test_unknown_record_raises(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\nz 1 2 7\n")
+        with pytest.raises(GraphFormatError, match="unknown record"):
+            load_dimacs(path)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, small_graph, tmp_path):
+        path = tmp_path / "g.mtx"
+        save_matrix_market(small_graph, path)
+        loaded = load_matrix_market(path)
+        assert loaded.num_nodes == small_graph.num_nodes
+        assert np.array_equal(loaded.edges, small_graph.edges)
+
+    def test_symmetric_is_expanded(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 2 1.0\n2 3 2.0\n"
+        )
+        loaded = load_matrix_market(path)
+        assert loaded.num_edges == 4
+
+    def test_pattern_defaults_weights(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n"
+        )
+        loaded = load_matrix_market(path)
+        assert loaded.weights[0] == 1.0
+
+    def test_rectangular_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1.0\n")
+        with pytest.raises(GraphFormatError, match="square"):
+            load_matrix_market(path)
+
+    def test_missing_banner_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("2 2 1\n1 2 1.0\n")
+        with pytest.raises(GraphFormatError, match="banner"):
+            load_matrix_market(path)
+
+
+class TestLargerRoundtrip:
+    def test_road_network_through_all_formats(self, tmp_path):
+        g = generate_road_network(side=12, seed=3)
+        for save, load, fname in (
+            (save_edge_list, load_edge_list, "g.txt"),
+            (save_dimacs, load_dimacs, "g.gr"),
+            (save_matrix_market, load_matrix_market, "g.mtx"),
+        ):
+            path = tmp_path / fname
+            save(g, path)
+            loaded = load(path)
+            assert loaded.num_nodes == g.num_nodes
+            assert loaded.num_edges == g.num_edges
+            assert np.array_equal(np.sort(loaded.edges), np.sort(g.edges))

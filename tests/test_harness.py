@@ -1,0 +1,136 @@
+"""Tests for the experiment harness (small sweeps; full grid is benchmarked)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness import (
+    EXPERIMENTS,
+    ExperimentResult,
+    fig1_compaction_breakdown,
+    fig11_basic_vs_enhanced,
+    fig12_grouping_coalescing,
+    fig13_bandwidth_utilization,
+    fig9_normalized_energy,
+    fig10_normalized_time,
+    normalized,
+    render_key_value,
+    render_table,
+    run_experiment,
+    speedup,
+    table1_scu_parameters,
+    table5_datasets,
+)
+
+SMALL = {"datasets": ("human",), "gpus": ("TX1",)}
+
+
+class TestResultContainer:
+    def make(self):
+        result = ExperimentResult("x", "test", ("a", "b"))
+        result.add_row(1, 2)
+        result.add_row(3, 4)
+        return result
+
+    def test_add_row_checks_arity(self):
+        with pytest.raises(ExperimentError, match="row has"):
+            self.make().add_row(1)
+
+    def test_column(self):
+        assert self.make().column("b") == [2, 4]
+
+    def test_column_unknown(self):
+        with pytest.raises(ExperimentError, match="no column"):
+            self.make().column("zzz")
+
+    def test_lookup(self):
+        rows = self.make().lookup(a=3)
+        assert rows == [{"a": 3, "b": 4}]
+
+    def test_lookup_unknown_column(self):
+        with pytest.raises(ExperimentError):
+            self.make().lookup(q=1)
+
+    def test_normalized_and_speedup(self):
+        assert normalized(2.0, 4.0) == 0.5
+        assert speedup(4.0, 2.0) == 2.0
+        with pytest.raises(ExperimentError):
+            normalized(1.0, 0.0)
+        with pytest.raises(ExperimentError):
+            speedup(1.0, 0.0)
+
+
+class TestRendering:
+    def test_render_table_contains_all_cells(self):
+        result = ExperimentResult("id", "Title", ("col1", "col2"))
+        result.add_row("x", 1.2345)
+        result.add_note("a note")
+        text = render_table(result)
+        assert "id: Title" in text
+        assert "col1" in text and "x" in text and "1.23" in text
+        assert "note: a note" in text
+
+    def test_render_key_value(self):
+        text = render_key_value("T", [("k", "v"), ("key2", "v2")])
+        assert "k    : v" in text
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "fig1", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "table1", "table2", "table3/4", "table5", "headline",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("table1")
+        assert result.experiment_id == "table1"
+
+
+class TestFigureDrivers:
+    """Each driver on a one-dataset, one-GPU slice."""
+
+    def test_fig1_structure(self):
+        result = fig1_compaction_breakdown(**SMALL)
+        assert len(result.rows) == 3  # three primitives
+        for _, _, compaction, rest in result.rows:
+            assert compaction + rest == pytest.approx(100.0)
+
+    def test_fig9_savings_on_traversals(self):
+        result = fig9_normalized_energy(**SMALL)
+        for row in result.lookup(algorithm="bfs"):
+            assert row["normalized"] < 1.0
+
+    def test_fig10_split_adds_up(self):
+        result = fig10_normalized_time(**SMALL)
+        for row in result.rows:
+            assert row[4] + row[5] == pytest.approx(row[3])
+
+    def test_fig11_enhanced_beats_basic_energy(self):
+        result = fig11_basic_vs_enhanced(**SMALL)
+        for row in result.rows:
+            assert row[5] > row[4]  # enhanced energy reduction > basic
+
+    def test_fig12_has_average_row(self):
+        result = fig12_grouping_coalescing(datasets=("human",))
+        assert result.rows[-1][0] == "AVG"
+        assert result.rows[0][1] > 0
+
+    def test_fig13_utilization_bounded(self):
+        result = fig13_bandwidth_utilization(**SMALL)
+        for row in result.rows:
+            assert 0 <= row[3] <= 100
+
+    def test_table1_parameters(self):
+        result = table1_scu_parameters()
+        assert dict(result.rows)["Vector Buffering"] == "5 KB"
+
+    def test_table5_has_paper_reference_values(self):
+        result = table5_datasets(datasets=("human",))
+        row = result.rows[0]
+        assert row[0] == "human"
+        assert "[2214]" in row[4]

@@ -1,0 +1,71 @@
+"""Tests for JSON/CSV result export and re-import."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness import ExperimentResult, export_all, load_json, save_csv, save_json
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult("fig9", "Normalized energy", ("algorithm", "value"))
+    r.add_row("bfs", 0.25)
+    r.add_row("sssp", 0.3)
+    r.add_note("a note")
+    return r
+
+
+class TestJson:
+    def test_roundtrip(self, result, tmp_path):
+        path = save_json(result, tmp_path / "fig9.json")
+        loaded = load_json(path)
+        assert loaded.experiment_id == result.experiment_id
+        assert loaded.title == result.title
+        assert list(loaded.columns) == list(result.columns)
+        assert loaded.rows == result.rows
+        assert loaded.notes == result.notes
+
+    def test_json_is_valid(self, result, tmp_path):
+        path = save_json(result, tmp_path / "r.json")
+        payload = json.loads(path.read_text())
+        assert payload["rows"] == [["bfs", 0.25], ["sssp", 0.3]]
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ExperimentError, match="not a valid result"):
+            load_json(path)
+
+    def test_load_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"title": "x"}))
+        with pytest.raises(ExperimentError, match="missing field"):
+            load_json(path)
+
+
+class TestCsv:
+    def test_csv_contents(self, result, tmp_path):
+        path = save_csv(result, tmp_path / "fig9.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# a note"
+        assert lines[1] == "algorithm,value"
+        assert lines[2] == "bfs,0.25"
+
+
+class TestExportAll:
+    def test_writes_both_formats(self, result, tmp_path):
+        written = export_all({"fig9": result}, tmp_path / "out")
+        names = sorted(p.name for p in written)
+        assert names == ["fig9.csv", "fig9.json"]
+
+    def test_slash_ids_sanitized(self, tmp_path):
+        r = ExperimentResult("table3/4", "GPUs", ("a",))
+        r.add_row("x")
+        written = export_all({"table3/4": r}, tmp_path, formats=("json",))
+        assert written[0].name == "table3_4.json"
+
+    def test_json_only(self, result, tmp_path):
+        written = export_all({"fig9": result}, tmp_path, formats=("json",))
+        assert len(written) == 1

@@ -1,0 +1,104 @@
+"""End-to-end integration tests: the paper's shape claims on a small grid.
+
+The full grid is exercised by ``benchmarks/``; these tests pin the
+qualitative conclusions on a fast subset so plain ``pytest tests/``
+catches any regression of the reproduction itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SystemMode, run_algorithm
+from repro.graph import load_dataset
+from repro.phases import Engine, PhaseKind
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """BFS/SSSP/PR on human (duplicate-heavy) for both GPUs, all modes."""
+    out = {}
+    graph = load_dataset("human")
+    for gpu in ("GTX980", "TX1"):
+        for algorithm in ("bfs", "sssp", "pagerank"):
+            for mode in SystemMode:
+                if algorithm == "pagerank" and mode is SystemMode.SCU_ENHANCED:
+                    continue
+                _, report, _ = run_algorithm(algorithm, graph, gpu, mode)
+                out[(gpu, algorithm, mode)] = report
+    return out
+
+
+class TestPaperShapes:
+    def test_compaction_is_major_fraction_of_baseline(self, reports):
+        """Figure 1's claim."""
+        for gpu in ("GTX980", "TX1"):
+            for algorithm in ("bfs", "sssp"):
+                fraction = reports[
+                    (gpu, algorithm, SystemMode.GPU)
+                ].compaction_time_fraction()
+                assert 0.25 < fraction < 0.95
+
+    def test_traversals_speed_up_on_both_gpus(self, reports):
+        """Figure 10's claim."""
+        for gpu in ("GTX980", "TX1"):
+            for algorithm in ("bfs", "sssp"):
+                base = reports[(gpu, algorithm, SystemMode.GPU)].time_s()
+                enh = reports[(gpu, algorithm, SystemMode.SCU_ENHANCED)].time_s()
+                assert base / enh > 1.2, (gpu, algorithm)
+
+    def test_energy_savings_everywhere(self, reports):
+        """Figure 9's claim (including PR)."""
+        for (gpu, algorithm, mode), report in reports.items():
+            if mode is SystemMode.GPU:
+                continue
+            base = reports[(gpu, algorithm, SystemMode.GPU)]
+            assert report.total_energy_j() < base.total_energy_j(), (gpu, algorithm, mode)
+
+    def test_enhanced_beats_basic_for_traversals(self, reports):
+        """Figure 11's claim."""
+        for gpu in ("GTX980", "TX1"):
+            for algorithm in ("bfs", "sssp"):
+                basic = reports[(gpu, algorithm, SystemMode.SCU_BASIC)]
+                enhanced = reports[(gpu, algorithm, SystemMode.SCU_ENHANCED)]
+                assert enhanced.time_s() < basic.time_s()
+
+    def test_filtering_removes_most_gpu_work(self, reports):
+        """Section 6.3: ~71-76% instruction reduction on the dup-heavy graph."""
+        for gpu in ("GTX980", "TX1"):
+            for algorithm in ("bfs", "sssp"):
+                base = reports[(gpu, algorithm, SystemMode.GPU)]
+                enh = reports[(gpu, algorithm, SystemMode.SCU_ENHANCED)]
+                reduction = 1 - enh.instructions(engine=Engine.GPU) / base.instructions(
+                    engine=Engine.GPU
+                )
+                assert reduction > 0.5, (gpu, algorithm, reduction)
+
+    def test_scu_modes_offload_all_compaction(self, reports):
+        """Algorithms 1-3: no GPU compaction kernels remain."""
+        for (gpu, algorithm, mode), report in reports.items():
+            if mode is SystemMode.GPU:
+                continue
+            gpu_compaction = report.select(engine=Engine.GPU, kind=PhaseKind.COMPACTION)
+            assert not gpu_compaction, (gpu, algorithm, mode)
+
+    def test_pagerank_is_the_weak_case(self, reports):
+        """Section 6.2: PR benefits least (all nodes active, regular)."""
+        for gpu in ("GTX980", "TX1"):
+            pr_gain = (
+                reports[(gpu, "pagerank", SystemMode.GPU)].time_s()
+                / reports[(gpu, "pagerank", SystemMode.SCU_BASIC)].time_s()
+            )
+            bfs_gain = (
+                reports[(gpu, "bfs", SystemMode.GPU)].time_s()
+                / reports[(gpu, "bfs", SystemMode.SCU_ENHANCED)].time_s()
+            )
+            assert pr_gain < bfs_gain
+
+    def test_results_are_deterministic(self):
+        graph = load_dataset("human")
+        _, a, _ = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED)
+        _, b, _ = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED)
+        assert a.time_s() == b.time_s()
+        assert a.total_energy_j() == b.total_energy_j()

@@ -1,0 +1,88 @@
+"""Tests for the synthetic address space and device-array plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mem import AddressSpace, DeviceContext
+
+
+class TestAddressSpace:
+    def test_allocations_are_disjoint(self):
+        space = AddressSpace()
+        a = space.alloc("a", 100, 4)
+        b = space.alloc("b", 50, 8)
+        assert a.base + a.size_bytes <= b.base
+
+    def test_alignment(self):
+        space = AddressSpace(alignment=256)
+        space.alloc("a", 3, 4)  # 12 bytes
+        b = space.alloc("b", 1, 4)
+        assert b.base % 256 == 0
+
+    def test_get_by_name(self):
+        space = AddressSpace()
+        a = space.alloc("labels", 10, 4)
+        assert space.get("labels") is a
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(SimulationError, match="no allocation"):
+            AddressSpace().get("ghost")
+
+    def test_capacity_exhaustion(self):
+        space = AddressSpace(capacity_bytes=1024)
+        with pytest.raises(SimulationError, match="exhausted"):
+            space.alloc("big", 1024, 4)
+
+    def test_invalid_request(self):
+        with pytest.raises(SimulationError):
+            AddressSpace().alloc("bad", -1, 4)
+
+    def test_bytes_in_use(self):
+        space = AddressSpace()
+        space.alloc("a", 10, 4)
+        assert space.bytes_in_use == 40
+
+    def test_addresses_all_elements(self):
+        space = AddressSpace()
+        a = space.alloc("a", 4, 4)
+        assert list(a.addresses()) == [a.base, a.base + 4, a.base + 8, a.base + 12]
+
+    def test_addresses_indexed(self):
+        space = AddressSpace()
+        a = space.alloc("a", 10, 8)
+        assert list(a.addresses(np.array([2, 0]))) == [a.base + 16, a.base]
+
+
+class TestDeviceContext:
+    def test_array_wraps_values(self):
+        ctx = DeviceContext()
+        arr = ctx.array("x", np.arange(5))
+        assert arr.size == 5
+        assert len(arr) == 5
+        assert arr.name == "x"
+
+    def test_names_uniquified(self):
+        ctx = DeviceContext()
+        a = ctx.array("frontier", np.arange(3))
+        b = ctx.array("frontier", np.arange(3))
+        assert a.name == "frontier"
+        assert b.name == "frontier.1"
+        assert a.alloc.base != b.alloc.base
+
+    def test_bitmask_is_packed(self):
+        ctx = DeviceContext()
+        mask = ctx.bitmask("m", np.ones(64, dtype=bool))
+        # 64 bits -> two 4-byte words of backing storage.
+        assert mask.alloc.size_bytes == 8
+        assert mask.values.size == 64
+
+    def test_bitmask_minimum_one_word(self):
+        ctx = DeviceContext()
+        mask = ctx.bitmask("m", np.array([True]))
+        assert mask.alloc.size_bytes == 4
+
+    def test_element_bytes(self):
+        ctx = DeviceContext()
+        arr = ctx.array("w", np.zeros(4), elem_bytes=8)
+        assert arr.alloc.size_bytes == 32

@@ -1,0 +1,134 @@
+"""Tests for the exact cache simulator and the analytic locality model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mem import (
+    LocalityProfile,
+    SetAssociativeCache,
+    estimate_hit_rate,
+    estimate_hits,
+    profile_lines,
+)
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(capacity_bytes=1024, line_bytes=64, ways=2)
+        assert cache.access_line(5) is False
+        assert cache.access_line(5) is True
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_within_set(self):
+        # 2-way cache with 2 sets: lines 0, 2, 4 all map to set 0.
+        cache = SetAssociativeCache(capacity_bytes=256, line_bytes=64, ways=2)
+        cache.access_line(0)
+        cache.access_line(2)
+        cache.access_line(4)  # evicts line 0 (LRU)
+        assert cache.access_line(2) is True
+        assert cache.access_line(0) is False
+        assert cache.stats.evictions >= 1
+
+    def test_lru_updated_on_hit(self):
+        cache = SetAssociativeCache(capacity_bytes=256, line_bytes=64, ways=2)
+        cache.access_line(0)
+        cache.access_line(2)
+        cache.access_line(0)  # refresh 0; now 2 is LRU
+        cache.access_line(4)  # evicts 2
+        assert cache.access_line(0) is True
+        assert cache.access_line(2) is False
+
+    def test_working_set_fits_entirely(self):
+        cache = SetAssociativeCache(capacity_bytes=64 * 1024, line_bytes=64, ways=16)
+        lines = np.arange(256)
+        cache.access_lines(lines)
+        hits = cache.access_lines(lines)
+        assert hits == 256
+
+    def test_streaming_never_hits(self):
+        cache = SetAssociativeCache(capacity_bytes=4096, line_bytes=64, ways=4)
+        hits = cache.access_lines(np.arange(10_000))
+        assert hits == 0
+
+    def test_access_addresses_converts_to_lines(self):
+        cache = SetAssociativeCache(capacity_bytes=4096, line_bytes=64, ways=4)
+        cache.access_addresses(np.array([0, 4, 8]))  # same 64-B line
+        assert cache.stats.hits == 2
+
+    def test_reset(self):
+        cache = SetAssociativeCache(capacity_bytes=4096, line_bytes=64, ways=4)
+        cache.access_line(1)
+        cache.reset()
+        assert cache.resident_lines == 0
+        assert cache.stats.accesses == 0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(capacity_bytes=100, line_bytes=64, ways=3)
+
+    def test_nonpositive_params_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(capacity_bytes=0, line_bytes=64, ways=2)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(capacity_bytes=3 * 64 * 2, line_bytes=64, ways=2)
+
+
+class TestLocalityProfile:
+    def test_profile_counts_unique(self):
+        profile = profile_lines(np.array([1, 1, 2, 3, 3, 3]))
+        assert profile.accesses == 6
+        assert profile.unique_lines == 3
+        assert profile.reuses == 3
+
+    def test_empty_profile(self):
+        profile = profile_lines(np.array([], dtype=np.int64))
+        assert profile.accesses == 0
+        assert estimate_hit_rate(profile, 1024, 64) == 0.0
+
+    def test_fitting_working_set_hits_all_reuses(self):
+        profile = LocalityProfile(accesses=1000, unique_lines=10)
+        rate = estimate_hit_rate(profile, capacity_bytes=64 * 1024, line_bytes=64)
+        assert rate == pytest.approx(990 / 1000)
+
+    def test_oversized_working_set_scales_down(self):
+        # Working set 4x capacity: ~1/4 of reuses hit.
+        profile = LocalityProfile(accesses=2000, unique_lines=1000)
+        rate = estimate_hit_rate(profile, capacity_bytes=250 * 64, line_bytes=64)
+        assert rate == pytest.approx((1000 * 0.25) / 2000, rel=0.01)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            estimate_hit_rate(LocalityProfile(1, 1), 0, 64)
+
+
+class TestEstimatorAgainstSimulator:
+    """The analytic model must track the exact simulator across regimes."""
+
+    @pytest.mark.parametrize(
+        "unique_lines,capacity_lines",
+        [(64, 256), (256, 256), (512, 256), (2048, 256)],
+    )
+    def test_uniform_reuse_stream(self, unique_lines, capacity_lines):
+        rng = np.random.default_rng(7)
+        lines = rng.integers(0, unique_lines, size=20_000)
+        cache = SetAssociativeCache(
+            capacity_bytes=capacity_lines * 64, line_bytes=64, ways=16
+        )
+        simulated_hits = cache.access_lines(lines)
+        estimated = estimate_hits(lines, capacity_lines * 64, 64)
+        # Within 10 percentage points of hit rate across all regimes.
+        assert abs(simulated_hits - estimated) / lines.size < 0.10
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_estimate_never_exceeds_reuses(self, unique):
+        rng = np.random.default_rng(unique)
+        lines = rng.integers(0, unique, size=2000)
+        profile = profile_lines(lines)
+        hits = estimate_hits(lines, 128 * 64, 64)
+        assert hits <= profile.reuses

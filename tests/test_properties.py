@@ -1,0 +1,160 @@
+"""Cross-module property tests (hypothesis) on the core invariants.
+
+These pin down the contracts the whole reproduction rests on:
+compaction never invents or loses data, grouping is a permutation that
+only improves locality, filtering is conservative (lossy on duplicates,
+never on first occurrences), and the coalescers agree with brute-force
+references.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HashTableConfig,
+    access_expansion_compaction,
+    data_compaction,
+    filter_best_cost,
+    filter_unique,
+    group_order,
+    replication_compaction,
+)
+from repro.graph import build_csr
+from repro.mem import SECTOR_BYTES, coalesce_warp
+
+ids_lists = st.lists(st.integers(min_value=0, max_value=40), min_size=0, max_size=300)
+TABLE = HashTableConfig("prop", 64 * 4, 1, 4)
+COST_TABLE = HashTableConfig("prop8", 64 * 8, 1, 8)
+
+
+class TestCompactionInvariants:
+    @given(ids_lists, st.lists(st.booleans(), min_size=0, max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_compaction_is_subsequence(self, raw, raw_mask):
+        n = min(len(raw), len(raw_mask))
+        data = np.asarray(raw[:n], dtype=np.int64)
+        mask = np.asarray(raw_mask[:n], dtype=bool)
+        out = data_compaction(data, mask)
+        # output == the masked subsequence, order preserved
+        assert list(out) == [v for v, keep in zip(raw[:n], raw_mask[:n]) if keep]
+
+    @given(st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_expansion_covers_whole_csr(self, degrees):
+        """Expanding every node's full adjacency reproduces the edge array."""
+        cnt = np.asarray(degrees, dtype=np.int64)
+        offsets = np.zeros(cnt.size, dtype=np.int64)
+        np.cumsum(cnt[:-1], out=offsets[1:])
+        edges = np.arange(int(cnt.sum()), dtype=np.int64)
+        out = access_expansion_compaction(edges, offsets, cnt)
+        assert np.array_equal(out, edges)
+
+    @given(ids_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_unit_replication_is_identity(self, raw):
+        data = np.asarray(raw, dtype=np.int64)
+        out = replication_compaction(data, np.ones(data.size, dtype=np.int64))
+        assert np.array_equal(out, data)
+
+
+class TestFilterInvariants:
+    @given(ids_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_filter_conservative(self, raw):
+        """Filtering never loses a value and never keeps more than the input."""
+        ids = np.asarray(raw, dtype=np.int64)
+        keep = filter_unique(ids, TABLE)
+        assert set(ids[keep].tolist()) == set(raw)
+        assert keep.sum() >= len(set(raw))  # lossy: may keep extra copies
+
+    @given(ids_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_best_cost_keeps_global_minimum(self, raw):
+        """For every id, the copy with the global minimum cost survives."""
+        ids = np.asarray(raw, dtype=np.int64)
+        costs = np.asarray([(v * 37 + i * 11) % 23 for i, v in enumerate(raw)], float)
+        keep = filter_best_cost(ids, costs, COST_TABLE)
+        for value in set(raw):
+            of_value = ids == value
+            best = costs[of_value].min()
+            kept_costs = costs[of_value & keep]
+            assert kept_costs.size > 0
+            assert kept_costs.min() == best
+
+
+class TestGroupingInvariants:
+    @given(ids_lists, st.sampled_from([1, 4, 64]))
+    @settings(max_examples=80, deadline=None)
+    def test_group_order_is_permutation(self, raw, entries):
+        blocks = np.asarray(raw, dtype=np.int64)
+        table = HashTableConfig("t", entries * 32, 1, 32)
+        perm = group_order(blocks, table)
+        assert np.array_equal(np.sort(perm), np.arange(blocks.size))
+
+    @given(ids_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_grouping_never_splits_adjacent_same_block(self, raw):
+        """Same-block adjacency never decreases under grouping."""
+        blocks = np.asarray(raw, dtype=np.int64)
+        if blocks.size < 2:
+            return
+        table = HashTableConfig("t", 64 * 32, 1, 32)
+        perm = group_order(blocks, table)
+        before = int(np.sum(blocks[1:] == blocks[:-1]))
+        reordered = blocks[perm]
+        after = int(np.sum(reordered[1:] == reordered[:-1]))
+        assert after >= before
+
+
+class TestCoalescerAgainstBruteForce:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 12), min_size=1, max_size=128)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_warp_coalescer_matches_set_count(self, raw):
+        addresses = np.asarray(raw, dtype=np.int64) * 4
+        result = coalesce_warp(addresses)
+        expected = 0
+        for start in range(0, len(raw), 32):
+            warp = addresses[start : start + 32]
+            expected += len({int(a) // SECTOR_BYTES for a in warp})
+        assert result.transactions == expected
+
+
+class TestCsrBuilderInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=19),
+                st.integers(min_value=0, max_value=19),
+            ),
+            min_size=0,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_builder_preserves_edge_multiset(self, pairs):
+        src = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        dst = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        graph = build_csr(20, src, dst, deduplicate=False, remove_self_loops=False)
+        rebuilt = sorted(zip(graph.edge_sources().tolist(), graph.edges.tolist()))
+        assert rebuilt == sorted(zip(src.tolist(), dst.tolist()))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=19),
+                st.integers(min_value=0, max_value=19),
+            ),
+            min_size=0,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_yields_unique_pairs(self, pairs):
+        src = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        dst = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        graph = build_csr(20, src, dst, deduplicate=True)
+        rebuilt = list(zip(graph.edge_sources().tolist(), graph.edges.tolist()))
+        assert len(rebuilt) == len(set(rebuilt))

@@ -1,0 +1,112 @@
+"""Focused tests for the SCU timing and energy models."""
+
+import pytest
+
+from repro.core import SCU_GTX980, SCU_TX1, build_system, scu_op_timing
+from repro.core.energy import scu_op_dynamic_energy_j, scu_static_power_w
+from repro.core.timing import SCU_L2_BANDWIDTH_FRACTION
+from repro.mem import MemoryStats
+
+
+def memory_stats(transactions):
+    return MemoryStats(
+        accesses=transactions,
+        transactions=transactions,
+        dram_accesses=transactions,
+        dram_bytes=32 * transactions,
+        row_hit_fraction=0.9,
+    )
+
+
+class TestScuTiming:
+    def hierarchy(self):
+        return build_system("TX1").gpu.hierarchy
+
+    def test_pipeline_bound(self):
+        timing = scu_op_timing(
+            SCU_TX1, self.hierarchy(), elements=10**6,
+            memory=MemoryStats(), l2_bandwidth_bps=120e9,
+        )
+        assert timing.bottleneck == "pipeline"
+        assert timing.pipeline_s == pytest.approx(1e6 / 1e9)
+
+    def test_width_speeds_pipeline(self):
+        wide = scu_op_timing(
+            SCU_TX1.with_pipeline_width(4), self.hierarchy(), elements=10**6,
+            memory=MemoryStats(), l2_bandwidth_bps=120e9,
+        )
+        assert wide.pipeline_s == pytest.approx(0.25e6 / 1e9)
+
+    def test_memory_bound(self):
+        timing = scu_op_timing(
+            SCU_TX1, self.hierarchy(), elements=10,
+            memory=memory_stats(10**6), l2_bandwidth_bps=120e9,
+        )
+        assert timing.bottleneck in ("dram", "l2")
+        assert timing.total_s > timing.pipeline_s
+
+    def test_setup_always_charged(self):
+        timing = scu_op_timing(
+            SCU_TX1, self.hierarchy(), elements=0,
+            memory=MemoryStats(), l2_bandwidth_bps=120e9,
+        )
+        assert timing.total_s == pytest.approx(SCU_TX1.op_setup_s)
+
+    def test_scu_gets_half_the_l2_port(self):
+        timing = scu_op_timing(
+            SCU_TX1, self.hierarchy(), elements=0,
+            memory=memory_stats(10**6), l2_bandwidth_bps=120e9,
+        )
+        expected = 10**6 * 32 / (120e9 * SCU_L2_BANDWIDTH_FRACTION)
+        assert timing.l2_s == pytest.approx(expected)
+
+    def test_dram_override(self):
+        timing = scu_op_timing(
+            SCU_TX1, self.hierarchy(), elements=0,
+            memory=MemoryStats(), l2_bandwidth_bps=120e9, dram_s_override=2.0,
+        )
+        assert timing.dram_s == 2.0
+
+
+class TestScuEnergy:
+    def hierarchy(self):
+        return build_system("TX1").gpu.hierarchy
+
+    def test_per_element_term(self):
+        energy = scu_op_dynamic_energy_j(
+            SCU_TX1, self.hierarchy(), elements=10**6, memory=MemoryStats()
+        )
+        assert energy == pytest.approx(10**6 * SCU_TX1.energy_per_element_pj * 1e-12)
+
+    def test_hash_probes_cost_extra(self):
+        base = scu_op_dynamic_energy_j(
+            SCU_TX1, self.hierarchy(), elements=100, memory=MemoryStats()
+        )
+        probed = scu_op_dynamic_energy_j(
+            SCU_TX1, self.hierarchy(), elements=100,
+            memory=MemoryStats(), hash_probes=100,
+        )
+        assert probed > base
+
+    def test_active_power_scaled_by_area(self):
+        # TX1 (width 1) active power is scaled down from the width-4 figure.
+        narrow = scu_op_dynamic_energy_j(
+            SCU_TX1, self.hierarchy(), elements=0,
+            memory=MemoryStats(), busy_time_s=1.0,
+        )
+        wide = scu_op_dynamic_energy_j(
+            SCU_GTX980, self.hierarchy(), elements=0,
+            memory=MemoryStats(), busy_time_s=1.0,
+        )
+        assert narrow < wide
+        assert wide == pytest.approx(SCU_GTX980.active_power_w, rel=1e-6)
+
+    def test_static_power_ordering(self):
+        assert scu_static_power_w(SCU_TX1) < scu_static_power_w(SCU_GTX980)
+        assert scu_static_power_w(SCU_GTX980) == pytest.approx(0.25)
+
+    def test_scu_active_far_below_sm_array(self):
+        """The offload energy story: ~two orders of magnitude apart."""
+        from repro.gpu import GTX980
+
+        assert GTX980.active_power_w > 50 * SCU_GTX980.active_power_w
