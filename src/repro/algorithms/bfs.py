@@ -65,6 +65,8 @@ def run_bfs(
     report = RunReport(algorithm="bfs", system=mode.value, dataset=graph.name)
     ctx = system.ctx
     gpu = system.gpu
+    tracer = system.obs.tracer
+    frontier_hist = system.obs.metrics.histogram("frontier.size")
 
     nf_dev = ctx.array("nf", np.array([source], dtype=np.int64))
     depth = 0
@@ -73,127 +75,132 @@ def run_bfs(
             break
         depth += 1
         nf = np.asarray(nf_dev.values, dtype=np.int64)
-
-        # ---- expansion: prepare indexes/count on the GPU (all modes) ----
-        indexes_values = graph.offsets[nf]
-        count_values = graph.out_degrees[nf]
-        indexes_dev = ctx.array("expand.indexes", indexes_values)
-        count_dev = ctx.array("expand.count", count_values)
-        prepare = KernelSpec(
-            "bfs.expand.prepare",
-            PhaseKind.PROCESSING,
-            threads=nf.size,
-            instructions_per_thread=KERNEL_COSTS["expand.prepare"],
-            extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * nf.size),
-        )
-        prepare.load(nf_dev.addresses())
-        prepare.load(dev.offsets.addresses(nf))
-        prepare.load(dev.offsets.addresses(nf + 1))
-        prepare.store(indexes_dev.addresses())
-        prepare.store(count_dev.addresses())
-        report.add(gpu.run(prepare))
-
-        gather_indices = expanded_indices(indexes_values, count_values)
-
-        # ---- expansion: edge-frontier gather -------------------------------
-        if mode is SystemMode.GPU:
-            ef_values = graph.edges[gather_indices]
-            ef_dev = ctx.array("ef", ef_values)
-            gather = KernelSpec(
-                "bfs.expand.gather",
-                PhaseKind.COMPACTION,
-                threads=ef_values.size,
-                instructions_per_thread=KERNEL_COSTS["expand.gather"],
+        tracer.counter("frontier.size", nodes=nf.size)
+        frontier_hist.observe(nf.size, algorithm="bfs")
+        with tracer.span(
+            "bfs.iteration", "algorithm", depth=depth, frontier_nodes=int(nf.size)
+        ):
+            # ---- expansion: prepare indexes/count on the GPU (all modes) ----
+            indexes_values = graph.offsets[nf]
+            count_values = graph.out_degrees[nf]
+            indexes_dev = ctx.array("expand.indexes", indexes_values)
+            count_dev = ctx.array("expand.count", count_values)
+            prepare = KernelSpec(
+                "bfs.expand.prepare",
+                PhaseKind.PROCESSING,
+                threads=nf.size,
+                instructions_per_thread=KERNEL_COSTS["expand.prepare"],
                 extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * nf.size),
-                memory_efficiency=COMPACTION_MEMORY_EFFICIENCY,
-                extra_overhead_s=compaction_sync_overhead_s(gpu.config),
             )
-            gather.load(indexes_dev.addresses())
-            gather.load(count_dev.addresses())
-            gather.load(dev.edges.addresses(gather_indices))
-            gather.store(ef_dev.addresses())
-            dev.add_scan_traffic(gather, nf.size)
-            report.add(gpu.run(gather))
-        elif mode is SystemMode.SCU_BASIC:
-            ef_dev, phase = system.scu.access_expansion_compaction(
-                dev.edges, indexes_dev, count_dev, out="ef"
-            )
-            report.add(phase)
-        else:  # SCU_ENHANCED, Algorithm 4: filtering pass + filtered gather
-            ef_raw = graph.edges[gather_indices]
-            scratch = ctx.array("ef.ids", ef_raw)
-            pass_streams = [
-                sequential_read(indexes_dev, role="indexes"),
-                sequential_read(count_dev, role="count"),
-                gather_read(dev.edges, gather_indices),
-            ]
-            filter_mask, phase = system.scu.filter_unique_pass(
-                scratch, input_streams=pass_streams, out="ef.filter"
-            )
-            report.add(phase)
-            ef_dev, phase = system.scu.access_expansion_compaction(
-                dev.edges,
-                indexes_dev,
-                count_dev,
-                element_bitmask=filter_mask,
-                out="ef",
-            )
-            report.add(phase)
+            prepare.load(nf_dev.addresses())
+            prepare.load(dev.offsets.addresses(nf))
+            prepare.load(dev.offsets.addresses(nf + 1))
+            prepare.store(indexes_dev.addresses())
+            prepare.store(count_dev.addresses())
+            report.add(gpu.run(prepare))
 
-        ef = np.asarray(ef_dev.values, dtype=np.int64)
-        if ef.size == 0:
-            nf_dev = ctx.array("nf", np.empty(0, dtype=np.int64))
-            continue
+            gather_indices = expanded_indices(indexes_values, count_values)
 
-        # ---- contraction: label test + culling on the GPU (all modes) ------
-        unvisited = labels[ef] == UNREACHED
-        keep = (
-            unvisited
-            & warp_cull(ef)
-            & best_effort_cull(ef)
-        )
-        mask_dev = ctx.bitmask("contract.mask", keep)
-        newly_visited = ef[keep]
-        process = KernelSpec(
-            "bfs.contract.process",
-            PhaseKind.PROCESSING,
-            threads=ef.size,
-            instructions_per_thread=KERNEL_COSTS["contract.process"],
-        )
-        process.load(ef_dev.addresses())
-        process.load(dev.node_data.addresses(ef))  # divergent label lookups
-        process.store(dev.node_data.addresses(newly_visited))
-        process.store(mask_dev.addresses())
-        report.add(gpu.run(process))
-        labels[newly_visited] = depth
+            # ---- expansion: edge-frontier gather -------------------------------
+            if mode is SystemMode.GPU:
+                ef_values = graph.edges[gather_indices]
+                ef_dev = ctx.array("ef", ef_values)
+                gather = KernelSpec(
+                    "bfs.expand.gather",
+                    PhaseKind.COMPACTION,
+                    threads=ef_values.size,
+                    instructions_per_thread=KERNEL_COSTS["expand.gather"],
+                    extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * nf.size),
+                    memory_efficiency=COMPACTION_MEMORY_EFFICIENCY,
+                    extra_overhead_s=compaction_sync_overhead_s(gpu.config),
+                )
+                gather.load(indexes_dev.addresses())
+                gather.load(count_dev.addresses())
+                gather.load(dev.edges.addresses(gather_indices))
+                gather.store(ef_dev.addresses())
+                dev.add_scan_traffic(gather, nf.size)
+                report.add(gpu.run(gather))
+            elif mode is SystemMode.SCU_BASIC:
+                ef_dev, phase = system.scu.access_expansion_compaction(
+                    dev.edges, indexes_dev, count_dev, out="ef"
+                )
+                report.add(phase)
+            else:  # SCU_ENHANCED, Algorithm 4: filtering pass + filtered gather
+                ef_raw = graph.edges[gather_indices]
+                scratch = ctx.array("ef.ids", ef_raw)
+                pass_streams = [
+                    sequential_read(indexes_dev, role="indexes"),
+                    sequential_read(count_dev, role="count"),
+                    gather_read(dev.edges, gather_indices),
+                ]
+                filter_mask, phase = system.scu.filter_unique_pass(
+                    scratch, input_streams=pass_streams, out="ef.filter"
+                )
+                report.add(phase)
+                ef_dev, phase = system.scu.access_expansion_compaction(
+                    dev.edges,
+                    indexes_dev,
+                    count_dev,
+                    element_bitmask=filter_mask,
+                    out="ef",
+                )
+                report.add(phase)
 
-        # ---- contraction: node-frontier compaction --------------------------
-        if mode is SystemMode.GPU:
-            nf_values = ef[keep]
-            nf_dev = ctx.array("nf", nf_values)
-            compact = KernelSpec(
-                "bfs.contract.compact",
-                PhaseKind.COMPACTION,
+            ef = np.asarray(ef_dev.values, dtype=np.int64)
+            tracer.counter("frontier.edges", edges=ef.size)
+            if ef.size == 0:
+                nf_dev = ctx.array("nf", np.empty(0, dtype=np.int64))
+                continue
+
+            # ---- contraction: label test + culling on the GPU (all modes) ------
+            unvisited = labels[ef] == UNREACHED
+            keep = (
+                unvisited
+                & warp_cull(ef)
+                & best_effort_cull(ef)
+            )
+            mask_dev = ctx.bitmask("contract.mask", keep)
+            newly_visited = ef[keep]
+            process = KernelSpec(
+                "bfs.contract.process",
+                PhaseKind.PROCESSING,
                 threads=ef.size,
-                instructions_per_thread=KERNEL_COSTS["contract.compact"],
-                extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * ef.size),
-                memory_efficiency=COMPACTION_MEMORY_EFFICIENCY,
-                extra_overhead_s=compaction_sync_overhead_s(gpu.config),
+                instructions_per_thread=KERNEL_COSTS["contract.process"],
             )
-            compact.load(ef_dev.addresses())
-            compact.load(mask_dev.addresses())
-            compact.store(nf_dev.addresses())
-            dev.add_scan_traffic(compact, ef.size)
-            report.add(gpu.run(compact))
-        elif mode is SystemMode.SCU_BASIC:
-            nf_dev, phase = system.scu.data_compaction(ef_dev, mask_dev, out="nf")
-            report.add(phase)
-        else:  # SCU_ENHANCED: extra hash-filter pass (lossy GPU cull leftovers)
-            filter_mask, phase = system.scu.filter_unique_pass(ef_dev, out="nf.filter")
-            report.add(phase)
-            combined = ctx.bitmask("contract.mask+filter", keep & filter_mask.values)
-            nf_dev, phase = system.scu.data_compaction(ef_dev, combined, out="nf")
-            report.add(phase)
+            process.load(ef_dev.addresses())
+            process.load(dev.node_data.addresses(ef))  # divergent label lookups
+            process.store(dev.node_data.addresses(newly_visited))
+            process.store(mask_dev.addresses())
+            report.add(gpu.run(process))
+            labels[newly_visited] = depth
+
+            # ---- contraction: node-frontier compaction --------------------------
+            if mode is SystemMode.GPU:
+                nf_values = ef[keep]
+                nf_dev = ctx.array("nf", nf_values)
+                compact = KernelSpec(
+                    "bfs.contract.compact",
+                    PhaseKind.COMPACTION,
+                    threads=ef.size,
+                    instructions_per_thread=KERNEL_COSTS["contract.compact"],
+                    extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * ef.size),
+                    memory_efficiency=COMPACTION_MEMORY_EFFICIENCY,
+                    extra_overhead_s=compaction_sync_overhead_s(gpu.config),
+                )
+                compact.load(ef_dev.addresses())
+                compact.load(mask_dev.addresses())
+                compact.store(nf_dev.addresses())
+                dev.add_scan_traffic(compact, ef.size)
+                report.add(gpu.run(compact))
+            elif mode is SystemMode.SCU_BASIC:
+                nf_dev, phase = system.scu.data_compaction(ef_dev, mask_dev, out="nf")
+                report.add(phase)
+            else:  # SCU_ENHANCED: extra hash-filter pass (lossy GPU cull leftovers)
+                filter_mask, phase = system.scu.filter_unique_pass(ef_dev, out="nf.filter")
+                report.add(phase)
+                combined = ctx.bitmask("contract.mask+filter", keep & filter_mask.values)
+                nf_dev, phase = system.scu.data_compaction(ef_dev, combined, out="nf")
+                report.add(phase)
     else:
         raise SimulationError("BFS failed to converge within the iteration budget")
 

@@ -85,139 +85,146 @@ def run_connected_components(
     )
     ctx = system.ctx
     gpu = system.gpu
+    tracer = system.obs.tracer
+    frontier_hist = system.obs.metrics.histogram("frontier.size")
 
     frontier = np.arange(graph.num_nodes, dtype=np.int64)
     for _ in range(max_iterations):
         if frontier.size == 0:
             break
-        nf_dev = ctx.array("cc.nf", frontier)
+        tracer.counter("frontier.size", nodes=frontier.size)
+        frontier_hist.observe(frontier.size, algorithm="connected_components")
+        with tracer.span(
+            "cc.iteration", "algorithm", frontier_nodes=int(frontier.size)
+        ):
+            nf_dev = ctx.array("cc.nf", frontier)
 
-        # ---- expansion preparation (GPU) ------------------------------------
-        indexes_values = graph.offsets[frontier]
-        count_values = graph.out_degrees[frontier]
-        indexes_dev = ctx.array("cc.indexes", indexes_values)
-        count_dev = ctx.array("cc.count", count_values)
-        label_dev = ctx.array("cc.labels", labels[frontier])
-        prepare = KernelSpec(
-            "cc.expand.prepare",
-            PhaseKind.PROCESSING,
-            threads=frontier.size,
-            instructions_per_thread=KERNEL_COSTS["expand.prepare"],
-            extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * frontier.size),
-        )
-        prepare.load(nf_dev.addresses())
-        prepare.load(dev.offsets.addresses(frontier))
-        prepare.load(dev.offsets.addresses(frontier + 1))
-        prepare.load(dev.node_data.addresses(frontier))
-        prepare.store(indexes_dev.addresses())
-        prepare.store(count_dev.addresses())
-        prepare.store(label_dev.addresses())
-        report.add(gpu.run(prepare))
-
-        gather_indices = expanded_indices(indexes_values, count_values)
-        ef_values = graph.edges[gather_indices]
-        candidate_labels = np.repeat(labels[frontier], count_values)
-
-        # ---- expansion gather ------------------------------------------------
-        if mode is SystemMode.GPU:
-            ef_dev = ctx.array("cc.ef", ef_values)
-            lf_dev = ctx.array("cc.lf", candidate_labels)
-            gather = KernelSpec(
-                "cc.expand.gather",
-                PhaseKind.COMPACTION,
-                threads=ef_values.size,
-                instructions_per_thread=KERNEL_COSTS["expand.gather"],
+            # ---- expansion preparation (GPU) ------------------------------------
+            indexes_values = graph.offsets[frontier]
+            count_values = graph.out_degrees[frontier]
+            indexes_dev = ctx.array("cc.indexes", indexes_values)
+            count_dev = ctx.array("cc.count", count_values)
+            label_dev = ctx.array("cc.labels", labels[frontier])
+            prepare = KernelSpec(
+                "cc.expand.prepare",
+                PhaseKind.PROCESSING,
+                threads=frontier.size,
+                instructions_per_thread=KERNEL_COSTS["expand.prepare"],
                 extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * frontier.size),
-                memory_efficiency=COMPACTION_MEMORY_EFFICIENCY,
-                extra_overhead_s=compaction_sync_overhead_s(gpu.config),
             )
-            gather.load(indexes_dev.addresses())
-            gather.load(count_dev.addresses())
-            gather.load(dev.edges.addresses(gather_indices))
-            gather.store(ef_dev.addresses())
-            gather.store(lf_dev.addresses())
-            dev.add_scan_traffic(gather, frontier.size)
-            report.add(gpu.run(gather))
-            keep_mask = None
-        else:
-            ef_dev, phase = system.scu.access_expansion_compaction(
-                dev.edges, indexes_dev, count_dev, out="cc.ef"
-            )
-            report.add(phase)
-            lf_dev, phase = system.scu.replication_compaction(
-                label_dev, count_dev, out="cc.lf"
-            )
-            report.add(phase)
-            keep_mask = None
-            if mode is SystemMode.SCU_ENHANCED:
-                # Unique-best-cost filtering with labels as the cost: for
-                # every destination keep only the lowest candidate label
-                # seen (hash-lossy, exactly as in SSSP).
-                mask_dev, phase = system.scu.filter_best_cost_pass(
-                    ef_dev, lf_dev, out="cc.filter"
+            prepare.load(nf_dev.addresses())
+            prepare.load(dev.offsets.addresses(frontier))
+            prepare.load(dev.offsets.addresses(frontier + 1))
+            prepare.load(dev.node_data.addresses(frontier))
+            prepare.store(indexes_dev.addresses())
+            prepare.store(count_dev.addresses())
+            prepare.store(label_dev.addresses())
+            report.add(gpu.run(prepare))
+
+            gather_indices = expanded_indices(indexes_values, count_values)
+            ef_values = graph.edges[gather_indices]
+            candidate_labels = np.repeat(labels[frontier], count_values)
+
+            # ---- expansion gather ------------------------------------------------
+            if mode is SystemMode.GPU:
+                ef_dev = ctx.array("cc.ef", ef_values)
+                lf_dev = ctx.array("cc.lf", candidate_labels)
+                gather = KernelSpec(
+                    "cc.expand.gather",
+                    PhaseKind.COMPACTION,
+                    threads=ef_values.size,
+                    instructions_per_thread=KERNEL_COSTS["expand.gather"],
+                    extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * frontier.size),
+                    memory_efficiency=COMPACTION_MEMORY_EFFICIENCY,
+                    extra_overhead_s=compaction_sync_overhead_s(gpu.config),
+                )
+                gather.load(indexes_dev.addresses())
+                gather.load(count_dev.addresses())
+                gather.load(dev.edges.addresses(gather_indices))
+                gather.store(ef_dev.addresses())
+                gather.store(lf_dev.addresses())
+                dev.add_scan_traffic(gather, frontier.size)
+                report.add(gpu.run(gather))
+                keep_mask = None
+            else:
+                ef_dev, phase = system.scu.access_expansion_compaction(
+                    dev.edges, indexes_dev, count_dev, out="cc.ef"
                 )
                 report.add(phase)
-                keep_mask = np.asarray(mask_dev.values, dtype=bool)
-                ef_dev, phase = system.scu.data_compaction(
-                    ef_dev, mask_dev, out="cc.ef.f"
+                lf_dev, phase = system.scu.replication_compaction(
+                    label_dev, count_dev, out="cc.lf"
                 )
                 report.add(phase)
-                lf_dev, phase = system.scu.data_compaction(
-                    lf_dev, mask_dev, out="cc.lf.f"
-                )
-                report.add(phase)
+                keep_mask = None
+                if mode is SystemMode.SCU_ENHANCED:
+                    # Unique-best-cost filtering with labels as the cost: for
+                    # every destination keep only the lowest candidate label
+                    # seen (hash-lossy, exactly as in SSSP).
+                    mask_dev, phase = system.scu.filter_best_cost_pass(
+                        ef_dev, lf_dev, out="cc.filter"
+                    )
+                    report.add(phase)
+                    keep_mask = np.asarray(mask_dev.values, dtype=bool)
+                    ef_dev, phase = system.scu.data_compaction(
+                        ef_dev, mask_dev, out="cc.ef.f"
+                    )
+                    report.add(phase)
+                    lf_dev, phase = system.scu.data_compaction(
+                        lf_dev, mask_dev, out="cc.lf.f"
+                    )
+                    report.add(phase)
 
-        if keep_mask is not None:
-            ef_values = ef_values[keep_mask]
-            candidate_labels = candidate_labels[keep_mask]
+            if keep_mask is not None:
+                ef_values = ef_values[keep_mask]
+                candidate_labels = candidate_labels[keep_mask]
 
-        # ---- contraction: keep improving labels (GPU) -------------------------
-        improving = candidate_labels < labels[ef_values]
-        process = KernelSpec(
-            "cc.contract.process",
-            PhaseKind.PROCESSING,
-            threads=ef_values.size,
-            instructions_per_thread=KERNEL_COSTS["contract.process"],
-        )
-        process.load(ef_dev.addresses())
-        process.load(lf_dev.addresses())
-        process.load(dev.node_data.addresses(ef_values))
-        process.atomic(dev.node_data.addresses(ef_values[improving]))
-        mask_dev2 = ctx.bitmask("cc.mask", improving)
-        process.store(mask_dev2.addresses())
-        report.add(gpu.run(process))
-
-        candidates = np.unique(ef_values[improving])
-        before = labels[candidates].copy()
-        if improving.any():
-            np.minimum.at(labels, ef_values[improving], candidate_labels[improving])
-        # Only nodes whose label actually dropped re-enter the frontier.
-        updated = candidates[labels[candidates] < before]
-
-        # ---- contraction: compact the next frontier ---------------------------
-        next_mask = np.isin(ef_values, updated) & improving
-        next_mask_dev = ctx.bitmask("cc.nextmask", next_mask)
-        if mode is SystemMode.GPU:
-            compact = KernelSpec(
-                "cc.contract.compact",
-                PhaseKind.COMPACTION,
+            # ---- contraction: keep improving labels (GPU) -------------------------
+            improving = candidate_labels < labels[ef_values]
+            process = KernelSpec(
+                "cc.contract.process",
+                PhaseKind.PROCESSING,
                 threads=ef_values.size,
-                instructions_per_thread=KERNEL_COSTS["contract.compact"],
-                extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * ef_values.size),
-                memory_efficiency=COMPACTION_MEMORY_EFFICIENCY,
-                extra_overhead_s=compaction_sync_overhead_s(gpu.config),
+                instructions_per_thread=KERNEL_COSTS["contract.process"],
             )
-            compact.load(ef_dev.addresses())
-            compact.load(next_mask_dev.addresses())
-            compact.store(ctx.array("cc.nf.next", updated).addresses())
-            dev.add_scan_traffic(compact, ef_values.size)
-            report.add(gpu.run(compact))
-        else:
-            _, phase = system.scu.data_compaction(
-                ef_dev, next_mask_dev, out="cc.nf.next"
-            )
-            report.add(phase)
-        frontier = updated
+            process.load(ef_dev.addresses())
+            process.load(lf_dev.addresses())
+            process.load(dev.node_data.addresses(ef_values))
+            process.atomic(dev.node_data.addresses(ef_values[improving]))
+            mask_dev2 = ctx.bitmask("cc.mask", improving)
+            process.store(mask_dev2.addresses())
+            report.add(gpu.run(process))
+
+            candidates = np.unique(ef_values[improving])
+            before = labels[candidates].copy()
+            if improving.any():
+                np.minimum.at(labels, ef_values[improving], candidate_labels[improving])
+            # Only nodes whose label actually dropped re-enter the frontier.
+            updated = candidates[labels[candidates] < before]
+
+            # ---- contraction: compact the next frontier ---------------------------
+            next_mask = np.isin(ef_values, updated) & improving
+            next_mask_dev = ctx.bitmask("cc.nextmask", next_mask)
+            if mode is SystemMode.GPU:
+                compact = KernelSpec(
+                    "cc.contract.compact",
+                    PhaseKind.COMPACTION,
+                    threads=ef_values.size,
+                    instructions_per_thread=KERNEL_COSTS["contract.compact"],
+                    extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * ef_values.size),
+                    memory_efficiency=COMPACTION_MEMORY_EFFICIENCY,
+                    extra_overhead_s=compaction_sync_overhead_s(gpu.config),
+                )
+                compact.load(ef_dev.addresses())
+                compact.load(next_mask_dev.addresses())
+                compact.store(ctx.array("cc.nf.next", updated).addresses())
+                dev.add_scan_traffic(compact, ef_values.size)
+                report.add(gpu.run(compact))
+            else:
+                _, phase = system.scu.data_compaction(
+                    ef_dev, next_mask_dev, out="cc.nf.next"
+                )
+                report.add(phase)
+            frontier = updated
     else:
         raise SimulationError("CC failed to converge within the iteration budget")
 

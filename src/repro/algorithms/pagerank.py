@@ -59,6 +59,7 @@ def run_pagerank(
     report = RunReport(algorithm="pagerank", system=mode.value, dataset=graph.name)
     ctx = system.ctx
     gpu = system.gpu
+    tracer = system.obs.tracer
 
     n = graph.num_nodes
     all_nodes = np.arange(n, dtype=np.int64)
@@ -69,96 +70,98 @@ def run_pagerank(
     prev_ranks_dev = ctx.array("pr.prev", ranks.copy())
 
     converged = False
-    for _ in range(max_iterations):
-        # ---- expansion preparation (GPU, all modes) ------------------------
-        contributions = np.where(degrees > 0, ranks / np.maximum(degrees, 1), 0.0)
-        contrib_dev = ctx.array("pr.contrib", contributions)
-        prepare = KernelSpec(
-            "pr.expand.prepare",
-            PhaseKind.PROCESSING,
-            threads=n,
-            instructions_per_thread=KERNEL_COSTS["expand.prepare"],
-            extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * n),
-        )
-        prepare.load(dev.offsets.addresses(all_nodes))
-        prepare.load(dev.offsets.addresses(all_nodes + 1))
-        prepare.load(dev.node_data.addresses(all_nodes))
-        prepare.store(contrib_dev.addresses())
-        report.add(gpu.run(prepare))
-
-        ef_values = graph.edges[gather_indices]
-        wf_values = np.repeat(contributions, degrees)
-
-        # ---- expansion gather: the PR compaction workload -------------------
-        if mode is SystemMode.GPU:
-            ef_dev = ctx.array("pr.ef", ef_values)
-            wf_dev = ctx.array("pr.wf", wf_values)
-            gather = KernelSpec(
-                "pr.expand.gather",
-                PhaseKind.COMPACTION,
-                threads=ef_values.size,
-                instructions_per_thread=KERNEL_COSTS["expand.gather"],
+    for iteration in range(max_iterations):
+        with tracer.span("pr.iteration", "algorithm", iteration=iteration):
+            # ---- expansion preparation (GPU, all modes) ------------------------
+            contributions = np.where(degrees > 0, ranks / np.maximum(degrees, 1), 0.0)
+            contrib_dev = ctx.array("pr.contrib", contributions)
+            prepare = KernelSpec(
+                "pr.expand.prepare",
+                PhaseKind.PROCESSING,
+                threads=n,
+                instructions_per_thread=KERNEL_COSTS["expand.prepare"],
                 extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * n),
-                memory_efficiency=COMPACTION_MEMORY_EFFICIENCY,
-                extra_overhead_s=compaction_sync_overhead_s(gpu.config),
             )
-            gather.load(indexes_dev.addresses())
-            gather.load(count_dev.addresses())
-            gather.load(dev.edges.addresses(gather_indices))
-            gather.load(contrib_dev.addresses())
-            gather.store(ef_dev.addresses())
-            gather.store(wf_dev.addresses())
-            dev.add_scan_traffic(gather, n)
-            report.add(gpu.run(gather))
-        else:  # SCU offload (Algorithm 3): expansion + replication
-            ef_dev, phase = system.scu.access_expansion_compaction(
-                dev.edges, indexes_dev, count_dev, out="pr.ef"
+            prepare.load(dev.offsets.addresses(all_nodes))
+            prepare.load(dev.offsets.addresses(all_nodes + 1))
+            prepare.load(dev.node_data.addresses(all_nodes))
+            prepare.store(contrib_dev.addresses())
+            report.add(gpu.run(prepare))
+
+            ef_values = graph.edges[gather_indices]
+            wf_values = np.repeat(contributions, degrees)
+
+            # ---- expansion gather: the PR compaction workload -------------------
+            if mode is SystemMode.GPU:
+                ef_dev = ctx.array("pr.ef", ef_values)
+                wf_dev = ctx.array("pr.wf", wf_values)
+                gather = KernelSpec(
+                    "pr.expand.gather",
+                    PhaseKind.COMPACTION,
+                    threads=ef_values.size,
+                    instructions_per_thread=KERNEL_COSTS["expand.gather"],
+                    extra_instructions=int(SCAN_OVERHEAD_PER_ELEMENT * n),
+                    memory_efficiency=COMPACTION_MEMORY_EFFICIENCY,
+                    extra_overhead_s=compaction_sync_overhead_s(gpu.config),
+                )
+                gather.load(indexes_dev.addresses())
+                gather.load(count_dev.addresses())
+                gather.load(dev.edges.addresses(gather_indices))
+                gather.load(contrib_dev.addresses())
+                gather.store(ef_dev.addresses())
+                gather.store(wf_dev.addresses())
+                dev.add_scan_traffic(gather, n)
+                report.add(gpu.run(gather))
+            else:  # SCU offload (Algorithm 3): expansion + replication
+                ef_dev, phase = system.scu.access_expansion_compaction(
+                    dev.edges, indexes_dev, count_dev, out="pr.ef"
+                )
+                report.add(phase)
+                wf_dev, phase = system.scu.replication_compaction(
+                    contrib_dev, count_dev, out="pr.wf"
+                )
+                report.add(phase)
+
+            # ---- rank update (GPU, all modes): atomicAdd per edge ---------------
+            incoming = np.zeros(n, dtype=np.float64)
+            np.add.at(incoming, ef_values, wf_values)
+            update = KernelSpec(
+                "pr.rank_update",
+                PhaseKind.PROCESSING,
+                threads=ef_values.size,
+                instructions_per_thread=KERNEL_COSTS["pr.rank_update"],
             )
-            report.add(phase)
-            wf_dev, phase = system.scu.replication_compaction(
-                contrib_dev, count_dev, out="pr.wf"
+            update.load(ef_dev.addresses())
+            update.load(wf_dev.addresses())
+            update.atomic(dev.node_data.addresses(np.asarray(ef_dev.values, dtype=np.int64)))
+            report.add(gpu.run(update))
+
+            # ---- dampening (GPU, all modes) --------------------------------------
+            new_ranks = alpha + (1.0 - alpha) * incoming
+            dampen = KernelSpec(
+                "pr.dampen",
+                PhaseKind.PROCESSING,
+                threads=n,
+                instructions_per_thread=KERNEL_COSTS["pr.dampen"],
             )
-            report.add(phase)
+            dampen.load(dev.node_data.addresses(all_nodes))
+            dampen.store(dev.node_data.addresses(all_nodes))
+            report.add(gpu.run(dampen))
 
-        # ---- rank update (GPU, all modes): atomicAdd per edge ---------------
-        incoming = np.zeros(n, dtype=np.float64)
-        np.add.at(incoming, ef_values, wf_values)
-        update = KernelSpec(
-            "pr.rank_update",
-            PhaseKind.PROCESSING,
-            threads=ef_values.size,
-            instructions_per_thread=KERNEL_COSTS["pr.rank_update"],
-        )
-        update.load(ef_dev.addresses())
-        update.load(wf_dev.addresses())
-        update.atomic(dev.node_data.addresses(np.asarray(ef_dev.values, dtype=np.int64)))
-        report.add(gpu.run(update))
+            # ---- convergence check (GPU, all modes) ------------------------------
+            delta = float(np.max(np.abs(new_ranks - ranks))) if n else 0.0
+            check = KernelSpec(
+                "pr.convergence",
+                PhaseKind.PROCESSING,
+                threads=n,
+                instructions_per_thread=KERNEL_COSTS["pr.convergence"],
+            )
+            check.load(dev.node_data.addresses(all_nodes))
+            check.load(prev_ranks_dev.addresses(all_nodes))
+            report.add(gpu.run(check))
 
-        # ---- dampening (GPU, all modes) --------------------------------------
-        new_ranks = alpha + (1.0 - alpha) * incoming
-        dampen = KernelSpec(
-            "pr.dampen",
-            PhaseKind.PROCESSING,
-            threads=n,
-            instructions_per_thread=KERNEL_COSTS["pr.dampen"],
-        )
-        dampen.load(dev.node_data.addresses(all_nodes))
-        dampen.store(dev.node_data.addresses(all_nodes))
-        report.add(gpu.run(dampen))
-
-        # ---- convergence check (GPU, all modes) ------------------------------
-        delta = float(np.max(np.abs(new_ranks - ranks))) if n else 0.0
-        check = KernelSpec(
-            "pr.convergence",
-            PhaseKind.PROCESSING,
-            threads=n,
-            instructions_per_thread=KERNEL_COSTS["pr.convergence"],
-        )
-        check.load(dev.node_data.addresses(all_nodes))
-        check.load(prev_ranks_dev.addresses(all_nodes))
-        report.add(gpu.run(check))
-
-        ranks[:] = new_ranks
+            ranks[:] = new_ranks
+            tracer.counter("pr.delta", delta=delta)
         if delta < epsilon:
             converged = True
             break

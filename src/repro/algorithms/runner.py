@@ -9,6 +9,7 @@ can assemble all six figures without re-simulating.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, Tuple
 
 import numpy as np
@@ -18,6 +19,7 @@ from ..core.config import ScuConfig
 from ..errors import ExperimentError
 from ..graph.csr import CsrGraph
 from ..graph.datasets import load_dataset
+from ..obs import Observability, global_metrics
 from ..phases import RunReport
 from .bfs import run_bfs
 from .common import SystemMode
@@ -45,13 +47,16 @@ def run_algorithm(
     *,
     scu_config: ScuConfig | None = None,
     memory_scale: float = PAPER_SCALE,
+    obs: Observability | None = None,
     **kwargs,
 ) -> tuple[np.ndarray, RunReport, ScuSystem]:
     """Run one (algorithm, graph, GPU, system-mode) combination.
 
     ``memory_scale`` defaults to :data:`~repro.core.api.PAPER_SCALE` so
     experiment runs operate in the paper's working-set regime; pass 1.0
-    to model the true hardware capacities.
+    to model the true hardware capacities.  ``obs`` injects an
+    observability bundle (see :mod:`repro.obs`) through the whole stack;
+    tracing is passive and leaves every simulated number unchanged.
     """
     if algorithm not in ALGORITHMS:
         known = ", ".join(ALGORITHMS)
@@ -61,12 +66,19 @@ def run_algorithm(
         with_scu=mode is not SystemMode.GPU,
         scu_config=scu_config,
         memory_scale=memory_scale,
+        obs=obs,
     )
     result, report = ALGORITHMS[algorithm](graph, system, mode, **kwargs)
     return result, report, system
 
 
-_RUN_CACHE: Dict[Tuple, RunReport] = {}
+#: LRU bound of the memoized-run cache: one benchmark session sweeps
+#: 3 algorithms x 6 datasets on one GPU/mode pair at a time, so 32
+#: entries cover a full figure without letting a long-lived process
+#: (a service embedding the simulator) grow without bound.
+RUN_CACHE_SIZE = 32
+
+_RUN_CACHE: "OrderedDict[Tuple, RunReport]" = OrderedDict()
 
 
 def cached_run(
@@ -77,13 +89,26 @@ def cached_run(
     *,
     seed: int = 42,
 ) -> RunReport:
-    """Memoized run on a registry dataset; returns only the report."""
+    """Memoized run on a registry dataset; returns only the report.
+
+    The cache is LRU-bounded to :data:`RUN_CACHE_SIZE` entries; hits and
+    misses (and evictions) are recorded in the process-wide metrics
+    registry under ``runner.cache.*``.
+    """
+    metrics = global_metrics()
     key = (algorithm, dataset, gpu_name, mode, seed)
-    if key not in _RUN_CACHE:
-        graph = load_dataset(dataset, seed=seed)
-        _, report, _ = run_algorithm(algorithm, graph, gpu_name, mode)
-        _RUN_CACHE[key] = report
-    return _RUN_CACHE[key]
+    if key in _RUN_CACHE:
+        _RUN_CACHE.move_to_end(key)
+        metrics.counter("runner.cache.hits").inc()
+        return _RUN_CACHE[key]
+    metrics.counter("runner.cache.misses").inc()
+    graph = load_dataset(dataset, seed=seed)
+    _, report, _ = run_algorithm(algorithm, graph, gpu_name, mode)
+    _RUN_CACHE[key] = report
+    while len(_RUN_CACHE) > RUN_CACHE_SIZE:
+        _RUN_CACHE.popitem(last=False)
+        metrics.counter("runner.cache.evictions").inc()
+    return report
 
 
 def clear_run_cache() -> None:

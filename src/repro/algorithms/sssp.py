@@ -94,6 +94,8 @@ def run_sssp(
     report = RunReport(algorithm="sssp", system=mode.value, dataset=graph.name)
     ctx = system.ctx
     gpu = system.gpu
+    tracer = system.obs.tracer
+    frontier_hist = system.obs.metrics.histogram("frontier.size")
     enhanced = mode is SystemMode.SCU_ENHANCED
 
     nf = np.array([source], dtype=np.int64)
@@ -105,27 +107,37 @@ def run_sssp(
         if nf.size == 0:
             if far_edges.size == 0:
                 break
-            # ---- far-pile consumption -------------------------------------
-            threshold += delta
-            nf, far_edges, far_costs = _consume_far(
-                system, mode, dev, report, far_edges, far_costs, threshold,
-                enable_grouping=enable_grouping,
-            )
+            with tracer.span(
+                "sssp.far_pile", "algorithm", far_edges=int(far_edges.size)
+            ):
+                # ---- far-pile consumption -------------------------------------
+                threshold += delta
+                nf, far_edges, far_costs = _consume_far(
+                    system, mode, dev, report, far_edges, far_costs, threshold,
+                    enable_grouping=enable_grouping,
+                )
             continue
 
-        nf_dev = ctx.array("nf", nf)
-        ef_dev, wf_dev = _expand(
-            system, mode, dev, report, nf_dev, nf, enable_grouping=enable_grouping
-        )
-        ef = np.asarray(ef_dev.values, dtype=np.int64)
-        wf = np.asarray(wf_dev.values, dtype=np.float64)
-        nf, new_far_e, new_far_c = _contract(
-            system, mode, dev, report, ef_dev, wf_dev, ef, wf, threshold,
-            filtered_upstream=enhanced,
-            enable_grouping=enable_grouping,
-        )
-        far_edges = np.concatenate([far_edges, new_far_e])
-        far_costs = np.concatenate([far_costs, new_far_c])
+        tracer.counter("frontier.size", nodes=nf.size, far=far_edges.size)
+        frontier_hist.observe(nf.size, algorithm="sssp")
+        with tracer.span(
+            "sssp.iteration", "algorithm",
+            frontier_nodes=int(nf.size), far_edges=int(far_edges.size),
+            threshold=threshold,
+        ):
+            nf_dev = ctx.array("nf", nf)
+            ef_dev, wf_dev = _expand(
+                system, mode, dev, report, nf_dev, nf, enable_grouping=enable_grouping
+            )
+            ef = np.asarray(ef_dev.values, dtype=np.int64)
+            wf = np.asarray(wf_dev.values, dtype=np.float64)
+            nf, new_far_e, new_far_c = _contract(
+                system, mode, dev, report, ef_dev, wf_dev, ef, wf, threshold,
+                filtered_upstream=enhanced,
+                enable_grouping=enable_grouping,
+            )
+            far_edges = np.concatenate([far_edges, new_far_e])
+            far_costs = np.concatenate([far_costs, new_far_c])
     else:
         raise SimulationError("SSSP failed to converge within the round budget")
 

@@ -4,7 +4,12 @@ Commands:
 
 * ``datasets``                      — list the Table 5 dataset analogs with stats;
 * ``run ALG DATASET``               — run one primitive on one dataset and
-  print the per-system comparison (``--gpu``, ``--source`` options);
+  print the per-system comparison (``--gpu``, ``--source``, ``--trace``);
+* ``trace ALG DATASET``             — run once under the tracer and write a
+  Chrome ``trace_event`` file for Perfetto (``--out``, ``--jsonl``,
+  ``--mode``, ``--gpu``);
+* ``profile ALG DATASET``           — run once and print wall-clock
+  self-time, simulated-time attribution, and the metrics registry;
 * ``experiment ID``                 — reproduce one paper artifact (``fig9`` ...);
 * ``reproduce``                     — reproduce everything (``--quick`` subset);
 * ``synthesis``                     — per-component SCU area/power report;
@@ -32,6 +37,13 @@ from .harness import (
     render_table,
     run_experiment,
 )
+from .obs import (
+    make_observability,
+    render_sim_profile,
+    render_wall_profile,
+    sim_profile,
+    wall_profile,
+)
 
 QUICK_DATASETS = ("delaunay", "human", "kron")
 
@@ -53,10 +65,19 @@ def _cmd_run(args) -> int:
     kwargs = {}
     if args.source is not None and args.algorithm != "pagerank":
         kwargs["source"] = args.source
+    obs = make_observability() if args.trace else None
     baseline = None
     for mode in SystemMode:
         started = time.time()
-        _, report, _ = run_algorithm(args.algorithm, graph, args.gpu, mode, **kwargs)
+        if obs is not None:
+            with obs.tracer.span(f"run.{mode.value}", "cli", system=mode.value):
+                _, report, _ = run_algorithm(
+                    args.algorithm, graph, args.gpu, mode, obs=obs, **kwargs
+                )
+        else:
+            _, report, _ = run_algorithm(
+                args.algorithm, graph, args.gpu, mode, **kwargs
+            )
         if baseline is None:
             baseline = (report.time_s(), report.total_energy_j())
         print(
@@ -66,6 +87,51 @@ def _cmd_run(args) -> int:
             f"({baseline[1] / report.total_energy_j():5.2f}x)  "
             f"[simulated in {time.time() - started:.1f}s]"
         )
+    if obs is not None:
+        obs.tracer.write_chrome(args.trace)
+        print(f"trace written to {args.trace} (open in ui.perfetto.dev)")
+    return 0
+
+
+def _traced_single_run(args):
+    """Shared by ``trace``/``profile``: one observed run, returns (obs, report)."""
+    graph = load_dataset(args.dataset)
+    mode = SystemMode(args.mode)
+    obs = make_observability()
+    with obs.tracer.span(
+        args.algorithm, "cli",
+        dataset=args.dataset, gpu=args.gpu, system=mode.value,
+    ):
+        _, report, _ = run_algorithm(
+            args.algorithm, graph, args.gpu, mode, obs=obs
+        )
+    return obs, report
+
+
+def _cmd_trace(args) -> int:
+    obs, report = _traced_single_run(args)
+    obs.tracer.write_chrome(args.out)
+    print(
+        f"{args.algorithm}/{args.dataset} ({args.mode}, {args.gpu}): "
+        f"simulated {report.time_s() * 1e3:.3f} ms across {len(report.phases)} phases"
+    )
+    print(f"trace written to {args.out} (open in ui.perfetto.dev)")
+    if args.jsonl:
+        obs.tracer.write_jsonl(args.jsonl)
+        print(f"raw event log written to {args.jsonl}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    obs, report = _traced_single_run(args)
+    print(f"wall-clock profile — {args.algorithm}/{args.dataset} ({args.mode}):")
+    print(render_wall_profile(wall_profile(obs.tracer)))
+    print()
+    print("simulated-time attribution:")
+    print(render_sim_profile(sim_profile(report)))
+    print()
+    print("metrics:")
+    print(obs.metrics.render())
     return 0
 
 
@@ -133,7 +199,42 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("dataset", choices=DATASET_NAMES)
     run_parser.add_argument("--gpu", choices=sorted(GPU_SYSTEMS), default="TX1")
     run_parser.add_argument("--source", type=int, default=None)
+    run_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace of all three system runs to PATH",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    def add_traced_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("algorithm", choices=sorted(ALGORITHMS))
+        sub.add_argument("dataset", choices=DATASET_NAMES)
+        sub.add_argument("--gpu", choices=sorted(GPU_SYSTEMS), default="TX1")
+        sub.add_argument(
+            "--mode",
+            choices=[m.value for m in SystemMode],
+            default=SystemMode.SCU_ENHANCED.value,
+        )
+
+    trace_parser = commands.add_parser(
+        "trace", help="run once and write a Perfetto-loadable Chrome trace"
+    )
+    add_traced_arguments(trace_parser)
+    trace_parser.add_argument("--out", default="trace.json")
+    trace_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help="also write the raw event stream as JSON lines",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    profile_parser = commands.add_parser(
+        "profile", help="run once and print wall/simulated profiles + metrics"
+    )
+    add_traced_arguments(profile_parser)
+    profile_parser.set_defaults(func=_cmd_profile)
 
     experiment_parser = commands.add_parser(
         "experiment", help="reproduce one paper artifact"
@@ -171,6 +272,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:  # unwritable --out/--jsonl/export paths
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -18,6 +18,7 @@ from ..errors import ConfigError
 from ..gpu.config import GPU_SYSTEMS, GpuConfig
 from ..gpu.device import GpuDevice
 from ..mem.address_space import DeviceContext
+from ..obs import NULL_OBS, Observability
 from .config import SCU_CONFIGS, ScuConfig
 from .unit import StreamCompactionUnit
 
@@ -29,6 +30,9 @@ class ScuSystem:
     gpu: GpuDevice
     ctx: DeviceContext
     scu: StreamCompactionUnit | None = None
+    #: the tracer/metrics bundle every layer of this system reports to;
+    #: NULL_OBS (all no-ops) unless one was injected via ``build_system``.
+    obs: Observability = NULL_OBS
 
     @property
     def has_scu(self) -> bool:
@@ -63,18 +67,24 @@ def build_system(
     with_scu: bool = True,
     scu_config: ScuConfig | None = None,
     memory_scale: float = 1.0,
+    obs: Observability | None = None,
 ) -> ScuSystem:
     """Construct one of the paper's systems by GPU name ("GTX980" / "TX1").
 
     ``memory_scale`` divides the modeled L2 capacity and the SCU hash
     sizes to match scaled-down datasets (see :data:`PAPER_SCALE`).
+    ``obs`` injects a tracer/metrics bundle into every layer (GPU device,
+    memory hierarchy, SCU); observation is purely passive and never
+    changes a simulated number.
     """
     if gpu_name not in GPU_SYSTEMS:
         known = ", ".join(GPU_SYSTEMS)
         raise ConfigError(f"unknown GPU {gpu_name!r}; known systems: {known}")
     if memory_scale <= 0:
         raise ConfigError(f"memory_scale must be positive, got {memory_scale}")
-    gpu = GpuDevice(GPU_SYSTEMS[gpu_name])
+    if obs is None:
+        obs = NULL_OBS
+    gpu = GpuDevice(GPU_SYSTEMS[gpu_name], obs=obs)
     if memory_scale != 1.0:
         gpu.hierarchy.l2_capacity_bytes = int(
             gpu.config.l2_bytes / memory_scale
@@ -90,5 +100,6 @@ def build_system(
             hierarchy=gpu.hierarchy,
             ctx=ctx,
             l2_bandwidth_bps=gpu.config.l2_bandwidth_bps,
+            obs=obs,
         )
-    return ScuSystem(gpu=gpu, ctx=ctx, scu=scu)
+    return ScuSystem(gpu=gpu, ctx=ctx, scu=scu, obs=obs)

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import OperationError
+from ..obs import NULL_OBS, Observability
 from .config import HashTableConfig
 from .hashtable import hash_slots
 
@@ -55,7 +56,9 @@ def _segmented_prev_cummin(costs: np.ndarray, segment_start: np.ndarray) -> np.n
     return prev_in_segment
 
 
-def filter_unique(ids: np.ndarray, table: HashTableConfig) -> np.ndarray:
+def filter_unique(
+    ids: np.ndarray, table: HashTableConfig, *, obs: Observability = NULL_OBS
+) -> np.ndarray:
     """Unique-element filtering; returns the keep bitmask (vectorized)."""
     ids = np.asarray(ids, dtype=np.int64)
     if ids.ndim != 1:
@@ -73,7 +76,31 @@ def filter_unique(ids: np.ndarray, table: HashTableConfig) -> np.ndarray:
     keep_sorted = new_slot | ~same_as_prev
     keep = np.empty(ids.size, dtype=bool)
     keep[order] = keep_sorted
+    _record_filter_metrics(obs, "unique", table, slots, keep)
     return keep
+
+
+def _record_filter_metrics(
+    obs: Observability,
+    scheme: str,
+    table: HashTableConfig,
+    slots: np.ndarray,
+    keep: np.ndarray,
+) -> None:
+    """Keep rate and hash-table pressure of one filtering pass."""
+    if not obs.enabled:
+        return
+    metrics = obs.metrics
+    metrics.histogram("scu.filter.keep_rate").observe(
+        float(keep.mean()), scheme=scheme
+    )
+    metrics.counter("scu.filter.elements").inc(keep.size, scheme=scheme)
+    metrics.counter("scu.filter.dropped").inc(int(keep.size - keep.sum()), scheme=scheme)
+    # Occupancy: distinct entries this pass touched vs table capacity —
+    # the pressure regime the Table 2 sizes were chosen for.
+    metrics.histogram("scu.hash.occupancy").observe(
+        np.unique(slots).size / table.num_entries, table=table.name
+    )
 
 
 def filter_unique_reference(ids: np.ndarray, table: HashTableConfig) -> np.ndarray:
@@ -91,7 +118,11 @@ def filter_unique_reference(ids: np.ndarray, table: HashTableConfig) -> np.ndarr
 
 
 def filter_best_cost(
-    ids: np.ndarray, costs: np.ndarray, table: HashTableConfig
+    ids: np.ndarray,
+    costs: np.ndarray,
+    table: HashTableConfig,
+    *,
+    obs: Observability = NULL_OBS,
 ) -> np.ndarray:
     """Unique-best-cost filtering; returns the keep bitmask (vectorized)."""
     ids = np.asarray(ids, dtype=np.int64)
@@ -115,6 +146,7 @@ def filter_best_cost(
     keep_sorted = costs_sorted < prev_best
     keep = np.empty(ids.size, dtype=bool)
     keep[order] = keep_sorted
+    _record_filter_metrics(obs, "best_cost", table, slots, keep)
     return keep
 
 

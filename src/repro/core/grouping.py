@@ -25,12 +25,17 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import OperationError
+from ..obs import NULL_OBS, Observability
 from .config import HashTableConfig
 from .hashtable import hash_slots
 
 
 def group_order(
-    blocks: np.ndarray, table: HashTableConfig, *, group_size: int = 8
+    blocks: np.ndarray,
+    table: HashTableConfig,
+    *,
+    group_size: int = 8,
+    obs: Observability = NULL_OBS,
 ) -> np.ndarray:
     """Compute the grouped output order (vectorized).
 
@@ -86,7 +91,17 @@ def group_order(
     )
 
     output_rank = np.lexsort((order, eviction_key[group_id]))
-    return order[output_rank]
+    perm = order[output_rank]
+    if obs.enabled:
+        sizes = np.diff(np.append(first_of_group, n))
+        obs.metrics.histogram("scu.group.size").observe_many(sizes, table=table.name)
+        obs.metrics.histogram("scu.group.quality").observe(
+            grouping_quality(blocks, perm), table=table.name
+        )
+        obs.metrics.histogram("scu.hash.occupancy").observe(
+            np.unique(slots).size / table.num_entries, table=table.name
+        )
+    return perm
 
 
 def group_order_reference(

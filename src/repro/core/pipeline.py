@@ -28,6 +28,7 @@ import numpy as np
 from ..mem.address_space import DeviceArray
 from ..mem.coalescer import CoalesceResult, coalesce_stream, coalesce_warp
 from ..mem.hierarchy import MemoryHierarchy, MemoryStats
+from ..obs import NULL_OBS, Observability
 from .config import ScuConfig
 
 
@@ -60,13 +61,19 @@ def coalesce_scu_stream(stream: ScuStream, config: ScuConfig) -> CoalesceResult:
 
 
 def streams_memory_stats(
-    streams: list[ScuStream], config: ScuConfig, hierarchy: MemoryHierarchy
+    streams: list[ScuStream],
+    config: ScuConfig,
+    hierarchy: MemoryHierarchy,
+    *,
+    obs: Observability = NULL_OBS,
 ) -> tuple[MemoryStats, float]:
     """Coalesce and price every stream of one operation.
 
     Returns the merged statistics plus the serialized-drain DRAM time
     (per-stream sum — the same interleaving argument as the GPU device:
     random hash probes break the sequential walks' row locality).
+    ``obs`` records each stream's coalescing behaviour by role, which is
+    how hash-probe scatter shows up next to sequential walks.
     """
     total = MemoryStats()
     dram_s = 0.0
@@ -75,6 +82,14 @@ def streams_memory_stats(
         stats = hierarchy.process(result)
         dram_s += hierarchy.dram_time_s(stats)
         total = total.merged(stats)
+        if obs.enabled and stats.transactions:
+            metrics = obs.metrics
+            metrics.counter("scu.stream.transactions").inc(
+                stats.transactions, role=stream.role
+            )
+            metrics.histogram("scu.stream.coalesce_factor").observe(
+                stats.coalescing_factor, role=stream.role
+            )
     return total, dram_s
 
 

@@ -20,6 +20,7 @@ vector (step one), and a compaction method taking ``bitmask=`` /
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +29,7 @@ from ..errors import OperationError
 from ..mem.address_space import DeviceArray, DeviceContext
 from ..mem.coalescer import LINE_BYTES
 from ..mem.hierarchy import MemoryHierarchy, MemoryStats
+from ..obs import NULL_OBS, Observability
 from ..phases import Engine, PhaseKind, PhaseReport
 from . import ops
 from .config import HashTableConfig, ScuConfig
@@ -47,6 +49,20 @@ from .pipeline import (
 from .timing import scu_op_timing
 
 
+def _traced(method):
+    """Wrap an SCU operation in a tracer span named after it."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return method(self, *args, **kwargs)
+        with tracer.span(f"scu.{method.__name__}", "scu"):
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 @dataclass
 class StreamCompactionUnit:
     """One SCU instance attached to a GPU's memory hierarchy."""
@@ -55,6 +71,7 @@ class StreamCompactionUnit:
     hierarchy: MemoryHierarchy
     ctx: DeviceContext
     l2_bandwidth_bps: float
+    obs: Observability = NULL_OBS
     #: hash tables live in main memory; give each a stable base address.
     _hash_bases: dict = field(default_factory=dict)
 
@@ -76,7 +93,9 @@ class StreamCompactionUnit:
         streams: list[ScuStream],
         hash_probes: int = 0,
     ) -> PhaseReport:
-        memory, dram_s = streams_memory_stats(streams, self.config, self.hierarchy)
+        memory, dram_s = streams_memory_stats(
+            streams, self.config, self.hierarchy, obs=self.obs
+        )
         timing = scu_op_timing(
             self.config,
             self.hierarchy,
@@ -93,6 +112,25 @@ class StreamCompactionUnit:
             hash_probes=hash_probes,
             busy_time_s=timing.total_s,
         )
+        if self.obs.enabled:
+            op = name.split("(", 1)[0]
+            metrics = self.obs.metrics
+            metrics.counter("scu.op.count").inc(op=op)
+            metrics.counter("scu.op.elements").inc(elements, op=op)
+            metrics.counter("scu.op.sim_time_s").inc(timing.total_s, op=op)
+            metrics.counter("scu.op.bottleneck").inc(term=timing.bottleneck)
+            if hash_probes:
+                metrics.counter("scu.hash.probes").inc(hash_probes)
+            self.obs.tracer.instant(
+                "scu.phase",
+                "scu",
+                phase=name,
+                elements=elements,
+                sim_time_s=timing.total_s,
+                sim_energy_j=energy,
+                bottleneck=timing.bottleneck,
+                dram_bytes=memory.dram_bytes,
+            )
         return PhaseReport(
             name=name,
             engine=Engine.SCU,
@@ -127,6 +165,7 @@ class StreamCompactionUnit:
 
     # -- the five operations (Figure 6) -----------------------------------------
 
+    @_traced
     def bitmask_constructor(
         self,
         data: DeviceArray,
@@ -147,6 +186,7 @@ class StreamCompactionUnit:
         )
         return out_array, report
 
+    @_traced
     def data_compaction(
         self,
         data: DeviceArray,
@@ -170,6 +210,7 @@ class StreamCompactionUnit:
         )
         return out_array, report
 
+    @_traced
     def access_compaction(
         self,
         data: DeviceArray,
@@ -195,6 +236,7 @@ class StreamCompactionUnit:
         )
         return out_array, report
 
+    @_traced
     def replication_compaction(
         self,
         data: DeviceArray,
@@ -220,6 +262,7 @@ class StreamCompactionUnit:
         )
         return out_array, report
 
+    @_traced
     def access_expansion_compaction(
         self,
         data: DeviceArray,
@@ -285,6 +328,7 @@ class StreamCompactionUnit:
 
     # -- enhanced SCU: filtering and grouping passes (Section 4) ---------------
 
+    @_traced
     def filter_unique_pass(
         self,
         ids: DeviceArray,
@@ -299,7 +343,9 @@ class StreamCompactionUnit:
         ranged gather rather than reading a materialized array.
         """
         table = self.config.filter_bfs_hash
-        keep = filter_unique(np.asarray(ids.values, dtype=np.int64), table)
+        keep = filter_unique(
+            np.asarray(ids.values, dtype=np.int64), table, obs=self.obs
+        )
         out_array = self.ctx.bitmask(out, keep)
         slots = hash_slots(np.asarray(ids.values, dtype=np.int64), table.num_entries)
         streams = [
@@ -319,6 +365,7 @@ class StreamCompactionUnit:
         )
         return out_array, report
 
+    @_traced
     def filter_best_cost_pass(
         self,
         ids: DeviceArray,
@@ -333,6 +380,7 @@ class StreamCompactionUnit:
             np.asarray(ids.values, dtype=np.int64),
             np.asarray(costs.values, dtype=np.float64),
             table,
+            obs=self.obs,
         )
         out_array = self.ctx.bitmask(out, keep)
         slots = hash_slots(np.asarray(ids.values, dtype=np.int64), table.num_entries)
@@ -357,6 +405,7 @@ class StreamCompactionUnit:
         )
         return out_array, report
 
+    @_traced
     def grouping_pass(
         self,
         destinations: DeviceArray,
@@ -375,7 +424,9 @@ class StreamCompactionUnit:
         table = self.config.grouping_hash
         dest_ids = np.asarray(destinations.values, dtype=np.int64)
         blocks = (node_data_base + dest_ids * elem_bytes) // LINE_BYTES
-        perm = group_order(blocks, table, group_size=self.config.group_size)
+        perm = group_order(
+            blocks, table, group_size=self.config.group_size, obs=self.obs
+        )
         out_array = self._output(out, perm)
         slots = hash_slots(blocks, table.num_entries)
         streams = [

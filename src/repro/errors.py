@@ -34,3 +34,7 @@ class OperationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment driver cannot produce its artifact."""
+
+
+class ObservabilityError(ReproError):
+    """Raised for misuse of the tracing/metrics instrumentation layer."""

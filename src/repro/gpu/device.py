@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from ..mem.coalescer import coalesce_warp
 from ..mem.hierarchy import MemoryHierarchy, MemoryStats
+from ..obs import NULL_OBS, Observability
 from ..phases import Engine, PhaseReport
 from .config import GpuConfig
 from .energy import kernel_dynamic_energy_j
@@ -24,12 +25,19 @@ class GpuDevice:
     """One GPU system (config + memory hierarchy)."""
 
     config: GpuConfig
+    obs: Observability = NULL_OBS
     hierarchy: MemoryHierarchy = field(init=False)
 
     def __post_init__(self) -> None:
         self.hierarchy = MemoryHierarchy(
-            l2_capacity_bytes=self.config.l2_bytes, dram=self.config.dram
+            l2_capacity_bytes=self.config.l2_bytes, dram=self.config.dram,
+            obs=self.obs,
         )
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Point this device (and its memory hierarchy) at an observer."""
+        self.obs = obs
+        self.hierarchy.attach_obs(obs)
 
     def run(self, spec: KernelSpec) -> PhaseReport:
         """Execute (cost-model) one kernel launch.
@@ -40,38 +48,58 @@ class GpuDevice:
         streams effectively serialize at the DRAM — a divergent gather
         cannot hide under a streaming store's bandwidth.
         """
-        memory = MemoryStats()
-        dram_s = 0.0
-        for stream in spec.accesses:
-            result = coalesce_warp(stream.addresses, active_mask=stream.active_mask)
-            stats = self.hierarchy.process(result, l2_bypass=stream.l2_bypass)
-            dram_s += self.hierarchy.dram_time_s(stats)
-            memory = memory.merged(stats)
-        atomics = spec.atomic_count
-        timing = kernel_timing(
-            self.config,
-            self.hierarchy,
-            instructions=spec.total_instructions,
-            memory=memory,
-            atomics=atomics,
-            memory_efficiency=spec.memory_efficiency,
-            dram_s_override=dram_s,
-        )
-        energy = kernel_dynamic_energy_j(
-            self.config,
-            self.hierarchy,
-            instructions=spec.total_instructions,
-            memory=memory,
-            atomics=atomics,
-            busy_time_s=timing.total_s + spec.extra_overhead_s,
-        )
-        return PhaseReport(
-            name=spec.name,
-            engine=Engine.GPU,
-            kind=spec.kind,
-            elements=spec.threads,
-            instructions=spec.total_instructions,
-            time_s=timing.total_s + spec.extra_overhead_s,
-            dynamic_energy_j=energy,
-            memory=memory,
-        )
+        tracer = self.obs.tracer
+        with tracer.span(
+            spec.name, "gpu-kernel", **(spec.trace_args() if tracer.enabled else {})
+        ) as span:
+            memory = MemoryStats()
+            dram_s = 0.0
+            for stream in spec.accesses:
+                result = coalesce_warp(stream.addresses, active_mask=stream.active_mask)
+                stats = self.hierarchy.process(result, l2_bypass=stream.l2_bypass)
+                dram_s += self.hierarchy.dram_time_s(stats)
+                memory = memory.merged(stats)
+            atomics = spec.atomic_count
+            timing = kernel_timing(
+                self.config,
+                self.hierarchy,
+                instructions=spec.total_instructions,
+                memory=memory,
+                atomics=atomics,
+                memory_efficiency=spec.memory_efficiency,
+                dram_s_override=dram_s,
+                obs=self.obs,
+            )
+            energy = kernel_dynamic_energy_j(
+                self.config,
+                self.hierarchy,
+                instructions=spec.total_instructions,
+                memory=memory,
+                atomics=atomics,
+                busy_time_s=timing.total_s + spec.extra_overhead_s,
+            )
+            if self.obs.enabled:
+                metrics = self.obs.metrics
+                metrics.counter("gpu.kernel.launches").inc(kernel=spec.name)
+                metrics.counter("gpu.kernel.transactions").inc(memory.transactions)
+                if memory.transactions:
+                    metrics.histogram("gpu.warp.coalesce_factor").observe(
+                        memory.coalescing_factor, kernel=spec.name
+                    )
+                span.annotate(
+                    sim_time_s=timing.total_s + spec.extra_overhead_s,
+                    sim_energy_j=energy,
+                    bottleneck=timing.bottleneck,
+                    transactions=memory.transactions,
+                    dram_bytes=memory.dram_bytes,
+                )
+            return PhaseReport(
+                name=spec.name,
+                engine=Engine.GPU,
+                kind=spec.kind,
+                elements=spec.threads,
+                instructions=spec.total_instructions,
+                time_s=timing.total_s + spec.extra_overhead_s,
+                dynamic_energy_j=energy,
+                memory=memory,
+            )

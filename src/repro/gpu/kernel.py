@@ -104,6 +104,20 @@ class KernelSpec:
         )
         return self
 
+    # -- observability --------------------------------------------------------
+
+    def trace_args(self) -> dict:
+        """Launch-shape summary attached to this kernel's trace span."""
+        return {
+            "threads": self.threads,
+            "instructions": self.total_instructions,
+            "streams": len(self.accesses),
+            "loads": sum(1 for s in self.accesses if not s.is_store),
+            "stores": sum(1 for s in self.accesses if s.is_store),
+            "atomics": self.atomic_count,
+            "kind": self.kind.value,
+        }
+
     # -- totals ---------------------------------------------------------------
 
     @property

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from ..mem.coalescer import SECTOR_BYTES
 from ..mem.hierarchy import MemoryHierarchy, MemoryStats
+from ..obs import NULL_OBS, Observability
 from .config import GpuConfig
 
 #: Fallback effective-MLP figure for configs predating the per-GPU
@@ -73,6 +74,7 @@ def kernel_timing(
     atomics: int = 0,
     memory_efficiency: float = 1.0,
     dram_s_override: float | None = None,
+    obs: Observability = NULL_OBS,
 ) -> KernelTiming:
     """Model the duration of one kernel launch.
 
@@ -80,7 +82,8 @@ def kernel_timing(
     cannot keep the memory system busy (scan-based compaction's
     synchronization and multi-phase structure).  ``dram_s_override``
     lets the device pass a per-stream (serialized-drain) DRAM time
-    instead of the merged-aggregate estimate.
+    instead of the merged-aggregate estimate.  ``obs`` records which
+    bottleneck term won and by how much.
     """
     compute_s = instructions / (config.peak_ops_per_s * config.issue_efficiency)
     l2_s = (
@@ -102,7 +105,7 @@ def kernel_timing(
 
     atomic_s = atomics / (ATOMICS_PER_CLOCK * config.clock_hz) if atomics else 0.0
 
-    return KernelTiming(
+    timing = KernelTiming(
         compute_s=compute_s,
         l2_s=l2_s,
         dram_s=dram_s,
@@ -110,3 +113,8 @@ def kernel_timing(
         atomic_s=atomic_s,
         overhead_s=config.kernel_launch_overhead_s,
     )
+    if obs.enabled:
+        metrics = obs.metrics
+        metrics.counter("gpu.kernel.bottleneck").inc(term=timing.bottleneck)
+        metrics.counter("gpu.kernel.sim_time_s").inc(timing.total_s, gpu=config.name)
+    return timing

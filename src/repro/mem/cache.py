@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs import NULL_OBS, Observability
 
 
 @dataclass
@@ -44,6 +45,8 @@ class SetAssociativeCache:
     line_bytes: int = 128
     ways: int = 16
     stats: CacheStats = field(default_factory=CacheStats)
+    name: str = "l2"
+    obs: Observability = NULL_OBS
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
@@ -71,8 +74,12 @@ class SetAssociativeCache:
         if hit_ways.size:
             self._ages[set_idx, hit_ways[0]] = self._clock
             self.stats.hits += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("cache.hits").inc(cache=self.name)
             return True
         self.stats.misses += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("cache.misses").inc(cache=self.name)
         victim = int(np.argmin(self._ages[set_idx]))
         if tags[victim] != -1:
             self.stats.evictions += 1

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigError
+from ..obs import NULL_OBS, Observability
 
 
 @dataclass(frozen=True)
@@ -76,8 +77,9 @@ class DramTraffic:
 class DramModel:
     """Time and energy for aggregate traffic on one DRAM device."""
 
-    def __init__(self, config: DramConfig):
+    def __init__(self, config: DramConfig, *, obs: Observability = NULL_OBS):
         self.config = config
+        self.obs = obs
 
     def effective_bandwidth(self, row_hit_fraction: float) -> float:
         """Peak bandwidth derated by row-buffer locality.
@@ -98,7 +100,15 @@ class DramModel:
         )
         # A single access cannot beat the device latency.
         latency_floor = self.config.access_latency_ns * 1e-9
-        return max(bandwidth_time, latency_floor)
+        time_s = max(bandwidth_time, latency_floor)
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("mem.dram.requests").inc(traffic.accesses, device=self.config.name)
+            metrics.counter("mem.dram.time_s").inc(time_s, device=self.config.name)
+            metrics.histogram("mem.dram.row_hit_fraction").observe(
+                traffic.row_hit_fraction, device=self.config.name
+            )
+        return time_s
 
     def dynamic_energy_j(self, traffic: DramTraffic) -> float:
         """Transfer energy + activation energy for the row misses."""

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import NULL_OBS, Observability
 from .coalescer import SECTOR_BYTES, CoalesceResult
 from .dram import DramConfig, DramModel, DramTraffic
 from .locality import estimate_hit_rate, profile_lines
@@ -84,10 +85,16 @@ class MemoryHierarchy:
     l2_capacity_bytes: int
     dram: DramConfig
     l2_line_bytes: int = SECTOR_BYTES
+    obs: Observability = NULL_OBS
     _dram_model: DramModel = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._dram_model = DramModel(self.dram)
+        self._dram_model = DramModel(self.dram, obs=self.obs)
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Point this hierarchy (and its DRAM model) at an observer."""
+        self.obs = obs
+        self._dram_model.obs = obs
 
     def process(self, result: CoalesceResult, *, l2_bypass: bool = False) -> MemoryStats:
         """Turn coalesced transactions into hierarchy-level statistics.
@@ -107,6 +114,14 @@ class MemoryHierarchy:
             hit_rate = estimate_hit_rate(profile, self.l2_capacity_bytes, self.l2_line_bytes)
         l2_hits = int(round(hit_rate * result.transactions))
         dram_accesses = result.transactions - l2_hits
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("mem.accesses").inc(result.accesses)
+            metrics.counter("mem.l2.transactions").inc(result.transactions)
+            metrics.counter("mem.l2.hits").inc(l2_hits)
+            metrics.counter("mem.l2.misses").inc(dram_accesses)
+            metrics.counter("mem.dram.bytes").inc(dram_accesses * SECTOR_BYTES)
+            metrics.histogram("mem.l2.hit_rate").observe(hit_rate)
         # DRAM sees the miss stream; its locality mirrors the transaction
         # stream's (misses preserve order through the L2 miss queue).
         return MemoryStats(

@@ -1,0 +1,90 @@
+"""Cross-cutting observability: event tracing, metrics, profiles.
+
+One :class:`Observability` bundle — a :class:`~repro.obs.tracer.Tracer`
+plus a :class:`~repro.obs.metrics.MetricsRegistry` — is threaded through
+``build_system``/``run_algorithm`` into every simulator layer: the GPU
+device, the memory hierarchy, the SCU, and the algorithm drivers.  The
+default is :data:`NULL_OBS`, whose tracer and registry are no-ops, so
+instrumentation costs nothing when nobody is looking and — by
+construction, verified by an A/B test — never changes a simulated
+number.
+
+Typical use::
+
+    from repro.obs import make_observability
+
+    obs = make_observability()
+    result, report, system = run_algorithm("bfs", graph, "TX1", mode, obs=obs)
+    obs.tracer.write_chrome("trace.json")   # open in ui.perfetto.dev
+    print(obs.metrics.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    global_metrics,
+)
+from .profile import (
+    render_sim_profile,
+    render_wall_profile,
+    sim_profile,
+    wall_profile,
+)
+from .tracer import NULL_TRACER, NullTracer, SpanHandle, Tracer
+
+
+@dataclass(frozen=True)
+class Observability:
+    """The tracer + metrics pair one observed run shares across layers.
+
+    Frozen so an instance is hashable and can serve directly as a
+    dataclass field default (:data:`NULL_OBS`) in every instrumented
+    layer; the tracer and registry it points at stay mutable.
+    """
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any instrumentation site should compute derived values."""
+        return self.tracer.enabled or self.metrics.enabled
+
+
+#: Shared disabled bundle — the default of every instrumented layer.
+NULL_OBS = Observability(tracer=NULL_TRACER, metrics=NULL_METRICS)
+
+
+def make_observability() -> Observability:
+    """A fresh enabled tracer + registry for one observed run."""
+    return Observability(tracer=Tracer(), metrics=MetricsRegistry())
+
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "make_observability",
+    "Tracer",
+    "NullTracer",
+    "SpanHandle",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "global_metrics",
+    "wall_profile",
+    "sim_profile",
+    "render_wall_profile",
+    "render_sim_profile",
+]

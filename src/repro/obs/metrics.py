@@ -1,0 +1,276 @@
+"""Labelled metrics registry: counters, gauges, histograms.
+
+The simulator's hot layers record *what happened* here — hash-table
+occupancy, L2 hit rates, coalescing factors, frontier sizes — keyed by
+metric name plus a small label set (``scu.filter.keep_rate{scheme=bfs}``).
+A registry is cheap enough to leave on unconditionally for scalar
+updates; code that must *compute* a value first (an occupancy scan, a
+group-size histogram) guards on ``metrics.enabled``.
+
+Instruments follow the Prometheus vocabulary:
+
+* :class:`Counter` — monotonically increasing totals (``inc``);
+* :class:`Gauge` — last-write-wins values (``set``);
+* :class:`Histogram` — running count/sum/min/max of observations,
+  with a vectorized ``observe_many`` for per-element series.
+
+:class:`NullMetrics` is the disabled registry: it hands out shared
+no-op instruments, so instrumentation sites never branch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import ObservabilityError
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+
+
+class Counter:
+    """Monotonic total, one running sum per label combination."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ObservabilityError(f"counter {self.name}: negative increment")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        return sum(self._series.values())
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class Gauge:
+    """Last-write-wins value per label combination."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._series: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._series[_label_key(labels)] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(labels)
+        if key not in self._series:
+            raise ObservabilityError(
+                f"gauge {self.name}: no sample for labels {dict(key)}"
+            )
+        return self._series[key]
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class Histogram:
+    """Running count/sum/min/max of observed values per label set."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def _series_for(self, labels: Dict[str, Any]) -> _HistogramSeries:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries()
+        return series
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self._series_for(labels).add(float(value))
+
+    def observe_many(self, values: Iterable[float], **labels: Any) -> None:
+        """Vectorized bulk observation (group sizes, per-stream factors)."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        series = self._series_for(labels)
+        series.count += int(arr.size)
+        series.sum += float(arr.sum())
+        series.min = min(series.min, float(arr.min()))
+        series.max = max(series.max, float(arr.max()))
+
+    def stats(self, **labels: Any) -> Dict[str, float]:
+        key = _label_key(labels)
+        if key not in self._series:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        s = self._series[key]
+        return {
+            "count": s.count,
+            "sum": s.sum,
+            "min": s.min,
+            "max": s.max,
+            "mean": s.mean,
+        }
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "labels": dict(key),
+                "count": s.count,
+                "sum": s.sum,
+                "min": s.min,
+                "max": s.max,
+                "mean": s.mean,
+            }
+            for key, s in sorted(self._series.items())
+        ]
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument recorded during one run."""
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif not isinstance(metric, cls):
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-serializable dump of every series of every metric."""
+        return {
+            name: {"kind": metric.kind, "series": metric.snapshot()}
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def render(self) -> str:
+        """Human-readable dump, one line per (metric, label set)."""
+        lines: List[str] = []
+        for name, payload in self.snapshot().items():
+            for series in payload["series"]:
+                labels = _format_labels(_label_key(series["labels"]))
+                if payload["kind"] == "histogram":
+                    lines.append(
+                        f"{name}{labels} count={series['count']} "
+                        f"mean={series['mean']:.4g} min={series['min']:.4g} "
+                        f"max={series['max']:.4g}"
+                    )
+                else:
+                    lines.append(f"{name}{labels} {series['value']:.6g}")
+        return "\n".join(lines)
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float, **labels: Any) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float, **labels: Any) -> None:
+        pass
+
+    def observe_many(self, values: Iterable[float], **labels: Any) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class NullMetrics(MetricsRegistry):
+    """Disabled registry: shared no-op instruments, nothing retained."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM
+
+
+#: Process-wide disabled registry; the default everywhere.
+NULL_METRICS = NullMetrics()
+
+#: Process-lifetime registry for infrastructure metrics that exist
+#: outside any single observed run (e.g. the run-cache hit/miss
+#: counters of :mod:`repro.algorithms.runner`).
+_GLOBAL_METRICS = MetricsRegistry()
+
+
+def global_metrics() -> MetricsRegistry:
+    return _GLOBAL_METRICS

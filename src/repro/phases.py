@@ -105,10 +105,16 @@ class RunReport:
         return total
 
     def compaction_time_fraction(self) -> float:
-        """Figure 1's quantity: fraction of run time spent compacting."""
+        """Figure 1's quantity: fraction of run time spent compacting.
+
+        An empty report has no meaningful split — returning 0.0 would
+        silently conflate "no phases ran" with "no time was spent
+        compacting" — so it yields ``nan``, which propagates loudly
+        through any averaging instead of biasing it.
+        """
         total = self.time_s()
         if total == 0:
-            return 0.0
+            return float("nan")
         return self.time_s(kind=PhaseKind.COMPACTION) / total
 
     def dram_bytes(self) -> int:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -59,3 +61,39 @@ class TestCommands:
         assert main(["experiment", "fig12", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "AVG" in out
+
+
+class TestObservabilityCommands:
+    def test_trace_writes_chrome_file(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "bfs", "human", "--out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        assert events and {"B", "E"} <= {e["ph"] for e in events}
+        assert "perfetto" in capsys.readouterr().out
+
+    def test_trace_jsonl_sidecar(self, tmp_path):
+        out_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "bfs", "human", "--mode", "gpu",
+             "--out", str(out_path), "--jsonl", str(jsonl_path)]
+        ) == 0
+        lines = jsonl_path.read_text().splitlines()
+        assert lines and all(json.loads(line)["name"] for line in lines)
+
+    def test_profile_prints_tables(self, capsys):
+        assert main(["profile", "bfs", "human"]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock profile" in out
+        assert "simulated-time attribution" in out
+        assert "bfs.iteration" in out
+        assert "frontier.size" in out
+
+    def test_run_with_trace_flag(self, capsys, tmp_path):
+        out_path = tmp_path / "run-trace.json"
+        assert main(["run", "bfs", "human", "--trace", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        # one top-level span per system mode, all in the same trace
+        assert {"run.gpu", "run.scu-basic", "run.scu-enhanced"} <= names

@@ -1,0 +1,270 @@
+"""Tests for the observability layer (tracing, metrics, profiles).
+
+The load-bearing guarantee is the A/B determinism test: attaching a
+live tracer + metrics registry to a run must leave every simulated
+number bit-identical, because instrumentation only *reads*.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.common import SystemMode
+from repro.algorithms.runner import (
+    RUN_CACHE_SIZE,
+    _RUN_CACHE,
+    cached_run,
+    clear_run_cache,
+    run_algorithm,
+)
+from repro.errors import ObservabilityError
+from repro.graph.datasets import load_dataset
+from repro.obs import (
+    NULL_OBS,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    global_metrics,
+    make_observability,
+    sim_profile,
+    wall_profile,
+)
+from repro.phases import RunReport
+
+
+class FakeClock:
+    """Deterministic ns clock: each read advances by one microsecond."""
+
+    def __init__(self):
+        self.ns = 0
+
+    def __call__(self) -> int:
+        self.ns += 1_000
+        return self.ns
+
+
+class TestTracer:
+    def test_span_nesting_and_ordering(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            assert tracer.depth == 1
+            with tracer.span("inner"):
+                assert tracer.depth == 2
+            tracer.instant("marker")
+        assert tracer.depth == 0
+        shape = [(e["name"], e["ph"]) for e in tracer.events]
+        assert shape == [
+            ("outer", "B"),
+            ("inner", "B"),
+            ("inner", "E"),
+            ("marker", "i"),
+            ("outer", "E"),
+        ]
+        # fake clock => timestamps strictly increase by 1us per event
+        ts = [e["ts"] for e in tracer.events]
+        assert ts == sorted(ts) and len(set(ts)) == len(ts)
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(clock=FakeClock()).end()
+
+    def test_counter_requires_values(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(clock=FakeClock()).counter("frontier.size")
+
+    def test_annotate_lands_on_end_event(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("phase") as span:
+            span.annotate(sim_time_s=1.5)
+        end = tracer.events[-1]
+        assert end["ph"] == "E" and end["args"] == {"sim_time_s": 1.5}
+
+    def test_chrome_trace_schema(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a", "cat", depth=0):
+            tracer.counter("frontier.size", nodes=7)
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(str(path))
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert isinstance(events, list) and events
+        for event in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+            assert event["ph"] in {"B", "E", "i", "C"}
+        begins = sum(e["ph"] == "B" for e in events)
+        ends = sum(e["ph"] == "E" for e in events)
+        assert begins == ends
+
+    def test_jsonl_round_trips(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["ph"] for e in lines] == ["B", "E"]
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NULL_OBS.tracer
+        with tracer.span("a") as span:
+            span.annotate(x=1)
+        tracer.instant("b")
+        tracer.counter("c", v=1)
+        assert tracer.events == [] and not tracer.enabled
+
+
+class TestMetrics:
+    def test_counter_label_aggregation(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("scu.op.count")
+        counter.inc(op="filter")
+        counter.inc(2.0, op="filter")
+        counter.inc(op="compact")
+        assert counter.value(op="filter") == 3.0
+        assert counter.value(op="compact") == 1.0
+        assert counter.value(op="missing") == 0.0
+        assert counter.total() == 4.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("x").inc(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("mem.l2.capacity")
+        gauge.set(10, device="TX1")
+        gauge.set(20, device="TX1")
+        assert gauge.value(device="TX1") == 20.0
+        with pytest.raises(ObservabilityError):
+            gauge.value(device="GTX980")
+
+    def test_histogram_scalar_and_vectorized_agree(self):
+        registry = MetricsRegistry()
+        h1 = registry.histogram("a")
+        h2 = registry.histogram("b")
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        for v in values:
+            h1.observe(v, alg="bfs")
+        h2.observe_many(np.array(values), alg="bfs")
+        assert h1.stats(alg="bfs") == h2.stats(alg="bfs")
+        stats = h1.stats(alg="bfs")
+        assert stats["count"] == 5 and stats["min"] == 1.0 and stats["max"] == 5.0
+        assert stats["mean"] == pytest.approx(2.8)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("x")
+
+    def test_snapshot_and_render(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3, cache="l2")
+        snap = registry.snapshot()
+        assert snap["hits"]["kind"] == "counter"
+        assert snap["hits"]["series"] == [{"labels": {"cache": "l2"}, "value": 3.0}]
+        assert "hits{cache=l2} 3" in registry.render()
+
+    def test_null_metrics_retains_nothing(self):
+        registry = NULL_OBS.metrics
+        registry.counter("x").inc(5)
+        registry.histogram("y").observe(1.0)
+        assert registry.names() == [] and not registry.enabled
+
+
+class TestProfiles:
+    def test_wall_profile_self_time(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        rows = {r["name"]: r for r in wall_profile(tracer)}
+        assert set(rows) == {"outer", "inner"}
+        # outer's self time excludes inner's whole duration
+        assert rows["outer"]["self_us"] == pytest.approx(
+            rows["outer"]["total_us"] - rows["inner"]["total_us"]
+        )
+        assert rows["outer"]["count"] == 1
+
+    def test_sim_profile_attribution_sums_to_total(self):
+        graph = load_dataset("human", seed=42)
+        _, report, _ = run_algorithm(
+            "bfs", graph, "TX1", SystemMode.SCU_ENHANCED
+        )
+        rows = sim_profile(report)
+        assert sum(r["time_s"] for r in rows) == pytest.approx(report.time_s())
+        assert sum(r["count"] for r in rows) == len(report.phases)
+        assert rows == sorted(rows, key=lambda r: r["time_s"], reverse=True)
+
+
+class TestDeterminism:
+    """Tracing must not change a single simulated number."""
+
+    @pytest.mark.parametrize("algorithm", ["bfs", "sssp", "pagerank"])
+    def test_observed_run_is_bit_identical(self, algorithm):
+        graph = load_dataset("human", seed=42)
+        kwargs = {} if algorithm == "pagerank" else {"source": 0}
+        plain, plain_report, _ = run_algorithm(
+            algorithm, graph, "TX1", SystemMode.SCU_ENHANCED, **kwargs
+        )
+        obs = make_observability()
+        traced, traced_report, _ = run_algorithm(
+            algorithm, graph, "TX1", SystemMode.SCU_ENHANCED, obs=obs, **kwargs
+        )
+        # observation actually happened...
+        assert obs.tracer.events and obs.metrics.names()
+        # ...and changed nothing
+        assert np.array_equal(plain, traced)
+        assert traced_report.time_s() == plain_report.time_s()
+        assert traced_report.total_energy_j() == plain_report.total_energy_j()
+        assert traced_report.dram_bytes() == plain_report.dram_bytes()
+        assert len(traced_report.phases) == len(plain_report.phases)
+        for a, b in zip(plain_report.phases, traced_report.phases):
+            assert a.name == b.name
+            assert a.time_s == b.time_s
+            assert a.dynamic_energy_j == b.dynamic_energy_j
+            assert a.memory.dram_bytes == b.memory.dram_bytes
+
+
+class TestRunCacheLru:
+    def test_cache_hit_miss_metrics_and_bound(self):
+        clear_run_cache()
+        hits = global_metrics().counter("runner.cache.hits")
+        misses = global_metrics().counter("runner.cache.misses")
+        h0, m0 = hits.total(), misses.total()
+        first = cached_run("bfs", "human", "TX1", SystemMode.GPU)
+        assert misses.total() == m0 + 1
+        again = cached_run("bfs", "human", "TX1", SystemMode.GPU)
+        assert again is first
+        assert hits.total() == h0 + 1
+
+    def test_cache_evicts_oldest_beyond_bound(self):
+        clear_run_cache()
+        # fill past the bound with fake entries; real keys are 5-tuples
+        for i in range(RUN_CACHE_SIZE):
+            _RUN_CACHE[("fake", i, "TX1", SystemMode.GPU, 42)] = object()
+        cached_run("bfs", "human", "TX1", SystemMode.GPU)
+        assert len(_RUN_CACHE) == RUN_CACHE_SIZE
+        # the oldest fake entry was evicted, the real run is resident
+        assert ("fake", 0, "TX1", SystemMode.GPU, 42) not in _RUN_CACHE
+        assert ("bfs", "human", "TX1", SystemMode.GPU, 42) in _RUN_CACHE
+        clear_run_cache()
+
+
+class TestCompactionFractionNan:
+    def test_empty_report_yields_nan(self):
+        report = RunReport(algorithm="bfs", system="gpu", dataset="none")
+        assert math.isnan(report.compaction_time_fraction())
+
+    def test_injection_through_build_system(self):
+        obs = Observability()
+        graph = load_dataset("human", seed=42)
+        _, _, system = run_algorithm(
+            "bfs", graph, "TX1", SystemMode.SCU_ENHANCED, obs=obs
+        )
+        # every layer shares the injected bundle
+        assert system.obs is obs
+        assert system.gpu.obs is obs
+        assert system.gpu.hierarchy.obs is obs
+        assert system.scu.obs is obs
