@@ -36,6 +36,21 @@ def bench_datasets():
     return QUICK_DATASETS if QUICK else DATASET_NAMES
 
 
+def check_expectations(expectations, result):
+    """Assert every shared paper expectation against one result.
+
+    The acceptance bands live in :mod:`repro.harness.expectations`,
+    shared with the ``repro bench`` fidelity scoreboard.
+    """
+    for expectation in expectations:
+        measured = expectation.extract(result)
+        assert expectation.check(measured), (
+            expectation.id,
+            measured,
+            expectation.band_text(),
+        )
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark timing.
 

@@ -1,19 +1,19 @@
 """Figure 11 — basic-SCU vs enhanced-SCU speedup/energy breakdown."""
 
-from repro.harness import fig11_basic_vs_enhanced, render_table
+from repro.harness import expectations_for, fig11_basic_vs_enhanced, render_table
 
-from .conftest import run_once
+from .conftest import check_expectations, run_once
 
 
 def test_fig11_basic_vs_enhanced(benchmark, sweep_kwargs):
     result = run_once(benchmark, fig11_basic_vs_enhanced, **sweep_kwargs)
     print()
     print(render_table(result))
+    # Shared paper targets: the basic SCU alone already wins on every
+    # cell (paper: ~1.5x speedup, ~2x energy reduction) — fig11.*.
+    check_expectations(expectations_for("fig11"), result)
     for row in result.rows:
         algorithm, gpu, s_basic, s_enh, e_basic, e_enh = row
-        # Basic offload alone already wins (paper: ~1.5x / ~2x energy).
-        assert s_basic > 1.1, row
-        assert e_basic > 1.2, row
         # Filtering/grouping adds on top of the basic design.
         assert s_enh > s_basic * 0.95, row
         assert e_enh > e_basic, row

@@ -1,20 +1,22 @@
 """Figure 13 — memory bandwidth utilization, GPU vs GPU+SCU."""
 
-from repro.harness import fig13_bandwidth_utilization, render_table
+from repro.harness import expectations_for, fig13_bandwidth_utilization, render_table
 
-from .conftest import run_once
+from .conftest import check_expectations, run_once
 
 
 def test_fig13_bandwidth_utilization(benchmark, sweep_kwargs):
     result = run_once(benchmark, fig13_bandwidth_utilization, **sweep_kwargs)
     print()
     print(render_table(result))
+    # Shared paper target: graph workloads fall far short of saturating
+    # DRAM (paper Section 6.3) — fig13.* in the expectations table.
+    check_expectations(expectations_for("fig13"), result)
     records = {
         (r[0], r[1], r[2]): r[3] for r in result.rows
     }
     for (algorithm, gpu, system), pct in records.items():
-        # Graph workloads fall far short of saturating DRAM (paper 6.3).
-        assert 0.0 < pct < 90.0, (algorithm, gpu, system, pct)
+        assert pct > 0.0, (algorithm, gpu, system, pct)
     # PR sustains more bandwidth than BFS on the baseline: it is the
     # regular, streaming primitive (paper: "PR achieves higher memory
     # bandwidth usage due to its higher regularity").

@@ -1,0 +1,68 @@
+"""Benchmark regression harness and paper-fidelity scoreboard.
+
+``repro bench`` sweeps the (algorithm x dataset x GPU x system-mode)
+grid and writes one schema-versioned ``BENCH_<tag>.json`` artifact per
+run: wall-clock statistics, the deterministic simulated cost-model
+numbers, a metrics-registry snapshot, a fidelity scoreboard against
+the paper's published targets, and provenance.  ``--compare`` diffs a
+run against a committed baseline and exits nonzero on regression —
+the gate every perf-affecting PR is judged by.
+"""
+
+from .compare import (
+    CompareReport,
+    Finding,
+    compare_artifacts,
+    compare_records,
+)
+from .record import (
+    SCHEMA_VERSION,
+    SIM_METRIC_NAMES,
+    BenchArtifact,
+    BenchRecord,
+    SimMetrics,
+    WallStats,
+    collect_provenance,
+    short_git_sha,
+)
+from .runner import (
+    DEFAULT_REPS,
+    QUICK_DATASETS,
+    BenchGrid,
+    default_grid,
+    run_bench,
+)
+from .scoreboard import (
+    build_scoreboard,
+    evaluate_expectations,
+    run_scoreboard_experiments,
+    scoreboard_payload,
+    scoreboard_table,
+    summarize,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SIM_METRIC_NAMES",
+    "BenchArtifact",
+    "BenchRecord",
+    "SimMetrics",
+    "WallStats",
+    "collect_provenance",
+    "short_git_sha",
+    "BenchGrid",
+    "default_grid",
+    "run_bench",
+    "DEFAULT_REPS",
+    "QUICK_DATASETS",
+    "CompareReport",
+    "Finding",
+    "compare_artifacts",
+    "compare_records",
+    "build_scoreboard",
+    "evaluate_expectations",
+    "run_scoreboard_experiments",
+    "scoreboard_payload",
+    "scoreboard_table",
+    "summarize",
+]

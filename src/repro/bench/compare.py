@@ -1,0 +1,180 @@
+"""Regression detection between two bench artifacts.
+
+The comparison contract mirrors what the numbers mean:
+
+* **simulated metrics are deterministic** — the same code must produce
+  bit-identical cost-model outputs, so any difference beyond
+  ``sim_rtol`` (default exact) is flagged, in either direction: an
+  unexplained "improvement" is drift just as much as a slowdown;
+* **wall-clock is noisy** — only the median matters, and only a
+  slowdown beyond ``wall_tolerance_pct`` counts as a regression
+  (speedups are reported as improvements).  A non-positive tolerance
+  disables wall-clock gating entirely, which is what cross-machine
+  comparisons (CI vs a committed baseline) should use.
+
+``compare_artifacts`` returns a :class:`CompareReport` whose ``table``
+renders the per-cell verdicts and whose ``ok`` drives the CLI exit
+code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..harness.results import ExperimentResult
+from .record import SIM_METRIC_NAMES, BenchArtifact, BenchRecord
+
+#: Verdict labels used in the diff table.
+V_SIM = "SIM-DRIFT"
+V_WALL = "WALL-REGRESSION"
+V_MISSING = "MISSING"
+V_FASTER = "faster"
+V_OK = "ok"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One flagged difference between baseline and current."""
+
+    verdict: str  # V_SIM / V_WALL / V_MISSING
+    cell: str  # "bfs/kron/TX1/scu-enhanced"
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+
+    def delta_pct(self) -> Optional[float]:
+        if self.baseline in (None, 0.0) or self.current is None:
+            return None
+        return 100.0 * (self.current / self.baseline - 1.0)
+
+
+@dataclass
+class CompareReport:
+    """Everything a caller needs to print and gate on."""
+
+    regressions: List[Finding] = field(default_factory=list)
+    improvements: List[Finding] = field(default_factory=list)
+    cells_compared: int = 0
+    cells_added: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def table(self) -> ExperimentResult:
+        result = ExperimentResult(
+            "bench-compare",
+            "Bench regression check (current vs baseline)",
+            ("cell", "metric", "baseline", "current", "delta", "verdict"),
+        )
+        for finding in self.regressions + self.improvements:
+            delta = finding.delta_pct()
+            result.add_row(
+                finding.cell,
+                finding.metric,
+                _fmt(finding.baseline),
+                _fmt(finding.current),
+                "-" if delta is None else f"{delta:+.2f}%",
+                finding.verdict,
+            )
+        result.add_note(
+            f"{self.cells_compared} cells compared, "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s), "
+            f"{self.cells_added} new cell(s) not in the baseline"
+        )
+        if self.ok:
+            result.add_note("verdict: OK — no regression against the baseline")
+        else:
+            result.add_note("verdict: REGRESSION — see rows above")
+        return result
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "absent"
+    return f"{value:.6g}"
+
+
+def _sim_differs(a: Optional[float], b: Optional[float], rtol: float) -> bool:
+    if a is None or b is None:
+        return a is not b  # None vs number is a schema-level change
+    if a == b:
+        return False
+    if rtol <= 0.0:
+        return True
+    scale = max(abs(a), abs(b))
+    return abs(a - b) > rtol * scale
+
+
+def compare_records(
+    baseline: BenchRecord,
+    current: BenchRecord,
+    *,
+    sim_rtol: float,
+    wall_tolerance_pct: float,
+) -> List[Finding]:
+    """All findings for one grid cell (empty list = clean)."""
+    findings: List[Finding] = []
+    cell = baseline.label()
+    for name in SIM_METRIC_NAMES:
+        base_value = getattr(baseline.sim, name)
+        cur_value = getattr(current.sim, name)
+        if _sim_differs(base_value, cur_value, sim_rtol):
+            findings.append(Finding(V_SIM, cell, name, base_value, cur_value))
+    if wall_tolerance_pct > 0.0 and baseline.wall.median_s > 0.0:
+        ratio = current.wall.median_s / baseline.wall.median_s
+        if ratio > 1.0 + wall_tolerance_pct / 100.0:
+            findings.append(
+                Finding(
+                    V_WALL,
+                    cell,
+                    "wall.median_s",
+                    baseline.wall.median_s,
+                    current.wall.median_s,
+                )
+            )
+        elif ratio < 1.0 - wall_tolerance_pct / 100.0:
+            findings.append(
+                Finding(
+                    V_FASTER,
+                    cell,
+                    "wall.median_s",
+                    baseline.wall.median_s,
+                    current.wall.median_s,
+                )
+            )
+    return findings
+
+
+def compare_artifacts(
+    baseline: BenchArtifact,
+    current: BenchArtifact,
+    *,
+    sim_rtol: float = 0.0,
+    wall_tolerance_pct: float = 50.0,
+) -> CompareReport:
+    """Diff two artifacts; every baseline cell must still exist and match."""
+    report = CompareReport()
+    current_map = current.record_map()
+    for key, base_record in baseline.record_map().items():
+        cur_record = current_map.pop(key, None)
+        if cur_record is None:
+            report.regressions.append(
+                Finding(V_MISSING, base_record.label(), "record", None, None)
+            )
+            continue
+        report.cells_compared += 1
+        for finding in compare_records(
+            base_record,
+            cur_record,
+            sim_rtol=sim_rtol,
+            wall_tolerance_pct=wall_tolerance_pct,
+        ):
+            if finding.verdict == V_FASTER:
+                report.improvements.append(finding)
+            else:
+                report.regressions.append(finding)
+    report.cells_added = len(current_map)
+    return report

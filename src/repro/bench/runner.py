@@ -1,0 +1,147 @@
+"""The bench grid runner: sweep, measure, assemble one artifact.
+
+Each cell of the (algorithm x dataset x GPU x system-mode) grid is
+measured twice over:
+
+* **wall-clock** — ``reps`` fresh, un-memoized simulations timed with
+  ``perf_counter`` (min/median/mean/IQR), tracking how fast the
+  harness itself runs;
+* **simulated** — the deterministic cost-model outputs (time, energy,
+  cycles, DRAM traffic, compaction fraction) of the memoized run the
+  figure drivers share, so the scoreboard sweep that follows is almost
+  free.
+
+The memoized run is executed under a shared observability bundle; its
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot (plus the
+process-wide run-cache counters) is embedded in the artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Optional, Sequence
+
+from ..algorithms.common import SystemMode
+from ..algorithms.runner import ALGORITHM_NAMES, run_algorithm
+from ..gpu.config import GPU_SYSTEMS
+from ..graph.datasets import DATASET_NAMES, load_dataset
+from ..harness.experiments import GPU_NAMES, _mode_for, _run
+from ..obs import global_metrics, make_observability
+from .record import (
+    BenchArtifact,
+    BenchRecord,
+    SimMetrics,
+    WallStats,
+    collect_provenance,
+)
+from .scoreboard import build_scoreboard, scoreboard_payload
+
+#: Dataset subset swept by ``--quick`` (mirrors the benchmark suite).
+QUICK_DATASETS = ("delaunay", "human", "kron")
+
+#: Default wall-clock repetitions per cell.
+DEFAULT_REPS = 3
+
+
+@dataclass(frozen=True)
+class BenchGrid:
+    """What one bench run sweeps."""
+
+    algorithms: Sequence[str]
+    datasets: Sequence[str]
+    gpus: Sequence[str]
+    modes: Sequence[SystemMode]
+    reps: int
+    quick: bool
+
+    def cells(self):
+        for algorithm in self.algorithms:
+            for dataset in self.datasets:
+                for gpu in self.gpus:
+                    for mode in self.modes:
+                        yield algorithm, dataset, gpu, mode
+
+    def describe(self) -> dict:
+        payload = asdict(self)
+        payload["modes"] = [mode.value for mode in self.modes]
+        payload["algorithms"] = list(self.algorithms)
+        payload["datasets"] = list(self.datasets)
+        payload["gpus"] = list(self.gpus)
+        return payload
+
+
+def default_grid(
+    *,
+    quick: bool = False,
+    algorithms: Sequence[str] | None = None,
+    datasets: Sequence[str] | None = None,
+    gpus: Sequence[str] | None = None,
+    reps: int = DEFAULT_REPS,
+) -> BenchGrid:
+    if datasets is None:
+        datasets = QUICK_DATASETS if quick else DATASET_NAMES
+    return BenchGrid(
+        algorithms=tuple(algorithms or ALGORITHM_NAMES),
+        datasets=tuple(datasets),
+        gpus=tuple(gpus or GPU_NAMES),
+        modes=tuple(SystemMode),
+        reps=max(1, reps),
+        quick=quick,
+    )
+
+
+def run_bench(
+    grid: BenchGrid,
+    *,
+    tag: str,
+    with_scoreboard: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchArtifact:
+    """Sweep the grid and assemble one schema-versioned artifact."""
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    obs = make_observability()
+    artifact = BenchArtifact(
+        tag=tag, grid=grid.describe(), provenance=collect_provenance()
+    )
+    cells = list(grid.cells())
+    for index, (algorithm, dataset, gpu, mode) in enumerate(cells):
+        effective = _mode_for(algorithm, mode)
+        graph = load_dataset(dataset)
+        samples = []
+        for _ in range(grid.reps):
+            started = time.perf_counter()
+            run_algorithm(algorithm, graph, gpu, effective)
+            samples.append(time.perf_counter() - started)
+        # Memoized run, shared with the scoreboard's figure drivers;
+        # the obs bundle only matters on the first miss per key.
+        report = _run(algorithm, dataset, gpu, effective, obs=obs)
+        record = BenchRecord(
+            algorithm=algorithm,
+            dataset=dataset,
+            gpu=gpu,
+            mode=mode.value,
+            effective_mode=effective.value,
+            wall=WallStats.from_samples(samples),
+            sim=SimMetrics.from_report(
+                report, gpu_clock_hz=GPU_SYSTEMS[gpu].clock_hz
+            ),
+        )
+        artifact.records.append(record)
+        say(
+            f"[{index + 1}/{len(cells)}] {record.label()}: "
+            f"wall {record.wall.median_s * 1e3:.0f} ms, "
+            f"sim {record.sim.sim_time_s * 1e3:.3f} ms"
+        )
+    if with_scoreboard:
+        say("scoreboard: reproducing paper artifacts on the bench grid")
+        table = build_scoreboard(datasets=grid.datasets, gpus=grid.gpus)
+        artifact.scoreboard = scoreboard_payload(table)
+    artifact.metrics = (
+        obs.metrics.flat_snapshot() + global_metrics().flat_snapshot()
+    )
+    return artifact

@@ -1,0 +1,137 @@
+"""Paper-fidelity scoreboard: measured vs published, pass/fail.
+
+Reproduces the scoreboard experiments (headline + Figures 1 and 9-13)
+on the bench grid's datasets/GPUs, evaluates every shared
+:mod:`~repro.harness.expectations` entry against them, and renders the
+verdicts as one table.  Runs that restrict the grid (quick mode, a
+single GPU) simply skip the expectations whose rows are absent —
+``skipped`` is reported distinctly from ``FAIL``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..harness.expectations import EXPECTATIONS, scoreboard_experiments
+from ..harness.registry import EXPERIMENTS
+from ..harness.results import ExperimentResult
+
+#: Experiment drivers that accept the (datasets=..., gpus=...) grid kwargs.
+_GRID_EXPERIMENTS = ("fig1", "fig9", "fig10", "fig11", "fig13", "headline")
+
+STATUS_PASS = "pass"
+STATUS_FAIL = "FAIL"
+STATUS_SKIP = "skipped"
+
+
+def run_scoreboard_experiments(
+    *,
+    datasets: Sequence[str],
+    gpus: Sequence[str],
+) -> Dict[str, ExperimentResult]:
+    """Reproduce every artifact the expectations table references."""
+    results: Dict[str, ExperimentResult] = {}
+    for experiment_id in scoreboard_experiments():
+        driver = EXPERIMENTS[experiment_id]
+        if experiment_id in _GRID_EXPERIMENTS:
+            kwargs = {"datasets": tuple(datasets), "gpus": tuple(gpus)}
+        elif experiment_id == "fig12":
+            # Figure 12 is a single-GPU artifact (SSSP on TX1 in the
+            # paper); fall back to the first swept GPU when TX1 is out.
+            gpu = "TX1" if "TX1" in gpus else gpus[0]
+            kwargs = {"datasets": tuple(datasets), "gpu": gpu}
+        else:
+            kwargs = {}
+        results[experiment_id] = driver(**kwargs)
+    return results
+
+
+def evaluate_expectations(
+    results: Dict[str, ExperimentResult],
+) -> ExperimentResult:
+    """Check every expectation against its reproduced artifact.
+
+    Pure function of the results — unit-testable without simulation.
+    """
+    table = ExperimentResult(
+        "fidelity",
+        "Paper-fidelity scoreboard (measured vs published)",
+        ("expectation", "description", "paper", "measured", "band", "status"),
+    )
+    for expectation in EXPECTATIONS:
+        result = results.get(expectation.experiment)
+        if result is None:
+            measured, status = float("nan"), STATUS_SKIP
+        else:
+            try:
+                measured = float(expectation.extract(result))
+            except (ReproError, ValueError, KeyError, ZeroDivisionError):
+                measured = float("nan")
+            if math.isnan(measured):
+                status = STATUS_SKIP
+            else:
+                status = STATUS_PASS if expectation.check(measured) else STATUS_FAIL
+        table.add_row(
+            expectation.id,
+            expectation.description,
+            expectation.paper_text(),
+            "-" if math.isnan(measured) else f"{measured:.3g}{expectation.units}",
+            expectation.band_text(),
+            status,
+        )
+    passed, failed, skipped = summarize(table)
+    table.add_note(
+        f"{passed} pass, {failed} fail, {skipped} skipped "
+        f"of {len(EXPECTATIONS)} paper targets"
+    )
+    return table
+
+
+def summarize(table: ExperimentResult) -> Tuple[int, int, int]:
+    statuses = table.column("status")
+    return (
+        statuses.count(STATUS_PASS),
+        statuses.count(STATUS_FAIL),
+        statuses.count(STATUS_SKIP),
+    )
+
+
+def build_scoreboard(
+    *,
+    datasets: Sequence[str],
+    gpus: Sequence[str],
+) -> ExperimentResult:
+    """Run the scoreboard experiments and evaluate the expectations."""
+    return evaluate_expectations(
+        run_scoreboard_experiments(datasets=datasets, gpus=gpus)
+    )
+
+
+def scoreboard_payload(table: ExperimentResult) -> Dict[str, Any]:
+    """JSON-embeddable form of the scoreboard for bench artifacts."""
+    passed, failed, skipped = summarize(table)
+    return {
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+        "passed": passed,
+        "failed": failed,
+        "skipped": skipped,
+    }
+
+
+def scoreboard_table(payload: Dict[str, Any]) -> ExperimentResult:
+    """Rebuild a renderable table from an artifact's scoreboard payload."""
+    table = ExperimentResult(
+        "fidelity",
+        "Paper-fidelity scoreboard (measured vs published)",
+        tuple(payload["columns"]),
+    )
+    for row in payload["rows"]:
+        table.add_row(*row)
+    table.add_note(
+        f"{payload['passed']} pass, {payload['failed']} fail, "
+        f"{payload['skipped']} skipped"
+    )
+    return table

@@ -12,6 +12,10 @@ Commands:
   self-time, simulated-time attribution, and the metrics registry;
 * ``experiment ID``                 — reproduce one paper artifact (``fig9`` ...);
 * ``reproduce``                     — reproduce everything (``--quick`` subset);
+* ``bench``                        — run the benchmark grid, write a
+  schema-versioned ``BENCH_<tag>.json`` artifact with wall-clock stats,
+  simulated metrics, a metrics snapshot and the paper-fidelity
+  scoreboard; ``--compare BASELINE.json`` gates on regressions;
 * ``synthesis``                     — per-component SCU area/power report;
 * ``export DIR``                    — reproduce everything and write JSON+CSV;
 * ``info``                          — show the simulated hardware configurations.
@@ -151,6 +155,64 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+#: Exit code of ``bench --compare`` when a regression is detected.
+EXIT_REGRESSION = 2
+
+
+def _cmd_bench(args) -> int:
+    from .bench import (
+        BenchArtifact,
+        compare_artifacts,
+        default_grid,
+        run_bench,
+        scoreboard_table,
+        short_git_sha,
+    )
+
+    grid = default_grid(
+        quick=args.quick,
+        algorithms=args.algorithms,
+        datasets=args.datasets,
+        gpus=None if args.gpu == "both" else (args.gpu,),
+        reps=args.reps,
+    )
+    tag = args.tag or short_git_sha()
+    progress = None if args.no_progress else (lambda line: print(line))
+    artifact = run_bench(
+        grid,
+        tag=tag,
+        with_scoreboard=not args.no_scoreboard,
+        progress=progress,
+    )
+    if artifact.scoreboard is not None:
+        print()
+        print(render_table(scoreboard_table(artifact.scoreboard)))
+        print()
+    out_path = args.out or f"BENCH_{tag}.json"
+    artifact.save(out_path)
+    print(f"artifact written to {out_path} ({len(artifact.records)} records)")
+    if args.compare is None:
+        return 0
+    baseline = BenchArtifact.load(args.compare)
+    report = compare_artifacts(
+        baseline,
+        artifact,
+        sim_rtol=args.sim_tolerance,
+        wall_tolerance_pct=args.wall_tolerance,
+    )
+    print()
+    print(render_table(report.table()))
+    if not report.ok:
+        print(
+            f"REGRESSION against {args.compare}: "
+            f"{len(report.regressions)} finding(s)",
+            file=sys.stderr,
+        )
+        return EXIT_REGRESSION
+    print(f"no regression against {args.compare}")
+    return 0
+
+
 def _cmd_synthesis(_args) -> int:
     for name in SCU_CONFIGS:
         print(render_synthesis_report(SCU_CONFIGS[name]))
@@ -248,6 +310,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce_parser.add_argument("--quick", action="store_true")
     reproduce_parser.set_defaults(func=_cmd_reproduce)
+
+    bench_parser = commands.add_parser(
+        "bench",
+        help="run the benchmark grid, write a BENCH_<tag>.json artifact",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="sweep the three-dataset quick grid instead of all six",
+    )
+    bench_parser.add_argument(
+        "--algorithms", nargs="+", choices=("bfs", "sssp", "pagerank"),
+        default=None, help="restrict the swept primitives",
+    )
+    bench_parser.add_argument(
+        "--datasets", nargs="+", choices=DATASET_NAMES, default=None,
+        help="restrict the swept datasets (overrides --quick's subset)",
+    )
+    bench_parser.add_argument(
+        "--gpu", choices=sorted(GPU_SYSTEMS) + ["both"], default="both",
+    )
+    bench_parser.add_argument(
+        "--reps", type=int, default=3,
+        help="wall-clock repetitions per grid cell (default 3)",
+    )
+    bench_parser.add_argument(
+        "--tag", default=None,
+        help="artifact tag (default: short git SHA)",
+    )
+    bench_parser.add_argument(
+        "--out", default=None,
+        help="artifact path (default BENCH_<tag>.json)",
+    )
+    bench_parser.add_argument(
+        "--compare", metavar="BASELINE.json", default=None,
+        help="diff this run against a baseline artifact; exit 2 on regression",
+    )
+    bench_parser.add_argument(
+        "--wall-tolerance", type=float, default=50.0, metavar="PCT",
+        help="relative wall-clock slowdown tolerated by --compare "
+        "(percent; <= 0 disables wall gating, e.g. across machines)",
+    )
+    bench_parser.add_argument(
+        "--sim-tolerance", type=float, default=0.0, metavar="RTOL",
+        help="relative tolerance for simulated metrics in --compare "
+        "(default 0: exact, the determinism contract)",
+    )
+    bench_parser.add_argument(
+        "--no-scoreboard", action="store_true",
+        help="skip the paper-fidelity scoreboard sweep",
+    )
+    bench_parser.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress per-cell progress lines",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
 
     commands.add_parser(
         "synthesis", help="per-component SCU area/power report"

@@ -38,3 +38,7 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """Raised for misuse of the tracing/metrics instrumentation layer."""
+
+
+class BenchError(ReproError):
+    """Raised for malformed benchmark artifacts or comparison misuse."""

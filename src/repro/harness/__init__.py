@@ -15,6 +15,15 @@ from .experiments import (
     table3_table4_gpu_parameters,
     table5_datasets,
 )
+from .expectations import (
+    EXPECTATIONS,
+    Expectation,
+    expectations_for,
+    get_expectation,
+    headline_value,
+    parse_measurement,
+    scoreboard_experiments,
+)
 from .export import export_all, load_json, save_csv, save_json
 from .registry import EXPERIMENTS, run_all, run_experiment
 from .results import ExperimentResult, normalized, speedup
@@ -28,6 +37,13 @@ __all__ = [
     "render_table",
     "render_key_value",
     "EXPERIMENTS",
+    "EXPECTATIONS",
+    "Expectation",
+    "expectations_for",
+    "get_expectation",
+    "headline_value",
+    "parse_measurement",
+    "scoreboard_experiments",
     "run_experiment",
     "run_all",
     "clear_experiment_cache",

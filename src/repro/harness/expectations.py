@@ -1,0 +1,291 @@
+"""The paper's expected numbers, as one shared, checkable table.
+
+Every quantitative target of the evaluation section — the abstract's
+headline averages, the per-figure bands — used to live as hard-coded
+asserts scattered through ``benchmarks/``.  This module is the single
+source of truth instead: each :class:`Expectation` names the paper
+artifact it belongs to, the paper's published value, the acceptance
+band the scaled reproduction must land in, and how to extract the
+measured value from that artifact's :class:`ExperimentResult`.
+
+Consumers:
+
+* the pytest benchmark suite (``benchmarks/test_headline.py``,
+  ``test_fig*.py``) asserts ``check(extract(result))`` per expectation;
+* the ``repro bench`` fidelity scoreboard renders the same table as a
+  pass/fail report and embeds it in every ``BENCH_*.json`` artifact.
+
+Extractors are defensive: when the sweep that produced the result was
+restricted (quick grid, single GPU) and the rows an expectation needs
+are absent, they return ``nan`` and the expectation reports *skipped*
+rather than failing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..errors import ExperimentError
+from .results import ExperimentResult
+
+INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One paper target: published value plus reproduction acceptance band."""
+
+    id: str  # "headline.speedup.GTX980"
+    experiment: str  # ExperimentResult id this is checked against
+    description: str
+    paper_value: float  # the paper's published number
+    units: str  # "x", "%", or ""
+    lo: float  # exclusive acceptance band: lo < measured < hi
+    hi: float
+    extract: Callable[[ExperimentResult], float]
+
+    def check(self, value: float) -> bool:
+        """Whether a measured value lands inside the acceptance band."""
+        if math.isnan(value):
+            return False
+        return self.lo < value < self.hi
+
+    def paper_text(self) -> str:
+        if math.isnan(self.paper_value):
+            return "-"
+        return f"{self.paper_value:g}{self.units}"
+
+    def band_text(self) -> str:
+        lo = "-inf" if self.lo == -INF else f"{self.lo:g}"
+        hi = "inf" if self.hi == INF else f"{self.hi:g}"
+        return f"({lo}, {hi})"
+
+
+# ---------------------------------------------------------------------------
+# extraction helpers
+# ---------------------------------------------------------------------------
+
+
+def parse_measurement(text: str) -> float:
+    """``"1.37x"`` / ``"84.7%"`` / ``"~71%"`` -> float."""
+    return float(str(text).strip().lstrip("~").rstrip("x%"))
+
+
+def headline_value(result: ExperimentResult, metric: str, gpu: str) -> float:
+    """The measured value of one (metric, gpu) cell of the headline table."""
+    rows = result.lookup(metric=metric, gpu=gpu)
+    if not rows:
+        return float("nan")
+    return parse_measurement(rows[0]["measured"])
+
+
+def _column_where(
+    result: ExperimentResult, column: str, **filters
+) -> List[float]:
+    return [float(r[column]) for r in result.lookup(**filters)]
+
+
+def _mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def _headline(metric: str, gpu: str):
+    return lambda result: headline_value(result, metric, gpu)
+
+
+def _mean_normalized(algorithm: str, gpu: str | None = None):
+    def extract(result: ExperimentResult) -> float:
+        filters = {"algorithm": algorithm}
+        if gpu is not None:
+            filters["gpu"] = gpu
+        return _mean(_column_where(result, "normalized", **filters))
+
+    return extract
+
+
+def _traversal_max_normalized(result: ExperimentResult) -> float:
+    values = _column_where(result, "normalized", algorithm="bfs")
+    values += _column_where(result, "normalized", algorithm="sssp")
+    return max(values) if values else float("nan")
+
+
+def _bfs_vs_pagerank_energy(result: ExperimentResult) -> float:
+    bfs = _mean(_column_where(result, "normalized", algorithm="bfs"))
+    pr = _mean(_column_where(result, "normalized", algorithm="pagerank"))
+    if math.isnan(bfs) or math.isnan(pr) or pr == 0:
+        return float("nan")
+    return bfs / pr
+
+
+def _fig12_average(result: ExperimentResult) -> float:
+    rows = result.lookup(dataset="AVG")
+    return float(rows[0]["improvement_pct"]) if rows else float("nan")
+
+
+def _fig12_minimum(result: ExperimentResult) -> float:
+    values = [
+        float(r["improvement_pct"])
+        for r in result.lookup()
+        if r["dataset"] != "AVG"
+    ]
+    return min(values) if values else float("nan")
+
+
+def _fig11_column_min(column: str):
+    def extract(result: ExperimentResult) -> float:
+        values = [float(v) for v in result.column(column)]
+        return min(values) if values else float("nan")
+
+    return extract
+
+
+def _fig1_mean_compaction(result: ExperimentResult) -> float:
+    return _mean(float(v) for v in result.column("compaction_pct"))
+
+
+def _fig13_max_utilization(result: ExperimentResult) -> float:
+    values = [float(v) for v in result.column("utilization_pct")]
+    return max(values) if values else float("nan")
+
+
+# ---------------------------------------------------------------------------
+# the table
+# ---------------------------------------------------------------------------
+
+EXPECTATIONS: Tuple[Expectation, ...] = (
+    # -- headline (abstract / Section 6 averages) --------------------------
+    Expectation(
+        "headline.speedup.GTX980", "headline",
+        "geomean speedup, enhanced SCU, GTX980",
+        1.37, "x", 1.15, INF, _headline("speedup", "GTX980"),
+    ),
+    Expectation(
+        "headline.speedup.TX1", "headline",
+        "geomean speedup, enhanced SCU, TX1",
+        2.32, "x", 1.5, INF, _headline("speedup", "TX1"),
+    ),
+    Expectation(
+        "headline.energy_savings.GTX980", "headline",
+        "energy savings, enhanced SCU, GTX980",
+        84.7, "%", 50.0, 100.0, _headline("energy_savings", "GTX980"),
+    ),
+    Expectation(
+        "headline.energy_savings.TX1", "headline",
+        "energy savings, enhanced SCU, TX1",
+        69.0, "%", 45.0, 100.0, _headline("energy_savings", "TX1"),
+    ),
+    Expectation(
+        "headline.area_overhead.GTX980", "headline",
+        "SCU area overhead vs die, GTX980",
+        3.3, "%", 2.8, 3.8, _headline("area_overhead", "GTX980"),
+    ),
+    Expectation(
+        "headline.area_overhead.TX1", "headline",
+        "SCU area overhead vs die, TX1",
+        4.1, "%", 3.6, 4.6, _headline("area_overhead", "TX1"),
+    ),
+    Expectation(
+        "headline.instr_reduction.bfs.GTX980", "headline",
+        "GPU instructions removed by offload, BFS, GTX980",
+        71.0, "%", 55.0, 100.0, _headline("gpu_instr_reduction_bfs", "GTX980"),
+    ),
+    Expectation(
+        "headline.instr_reduction.bfs.TX1", "headline",
+        "GPU instructions removed by offload, BFS, TX1",
+        71.0, "%", 55.0, 100.0, _headline("gpu_instr_reduction_bfs", "TX1"),
+    ),
+    Expectation(
+        "headline.instr_reduction.sssp.GTX980", "headline",
+        "GPU instructions removed by offload, SSSP, GTX980",
+        76.0, "%", 55.0, 100.0, _headline("gpu_instr_reduction_sssp", "GTX980"),
+    ),
+    Expectation(
+        "headline.instr_reduction.sssp.TX1", "headline",
+        "GPU instructions removed by offload, SSSP, TX1",
+        76.0, "%", 55.0, 100.0, _headline("gpu_instr_reduction_sssp", "TX1"),
+    ),
+    # -- Figure 1 ----------------------------------------------------------
+    Expectation(
+        "fig1.compaction_share.mean", "fig1",
+        "mean % of GPU-baseline time in stream compaction",
+        40.0, "%", 15.0, 75.0, _fig1_mean_compaction,
+    ),
+    # -- Figure 9 ----------------------------------------------------------
+    Expectation(
+        "fig9.normalized_energy.traversal.max", "fig9",
+        "worst BFS/SSSP normalized energy (every cell saves)",
+        0.31, "", 0.0, 1.0, _traversal_max_normalized,
+    ),
+    Expectation(
+        "fig9.normalized_energy.bfs_over_pagerank", "fig9",
+        "BFS saves more energy than PR (mean ratio < 1)",
+        0.12, "", 0.0, 1.0, _bfs_vs_pagerank_energy,
+    ),
+    # -- Figure 10 ---------------------------------------------------------
+    Expectation(
+        "fig10.normalized_time.traversal.max", "fig10",
+        "worst BFS/SSSP normalized time (every cell speeds up)",
+        0.73, "", 0.0, 1.0, _traversal_max_normalized,
+    ),
+    Expectation(
+        "fig10.normalized_time.pagerank.GTX980", "fig10",
+        "PR on GTX980 is the paper's one slowdown case",
+        1.05, "", 1.0, 1.4, _mean_normalized("pagerank", "GTX980"),
+    ),
+    # -- Figure 11 ---------------------------------------------------------
+    Expectation(
+        "fig11.speedup.basic.min", "fig11",
+        "basic SCU offload alone already wins (worst cell)",
+        1.5, "x", 1.1, INF, _fig11_column_min("speedup_basic"),
+    ),
+    Expectation(
+        "fig11.energy_reduction.basic.min", "fig11",
+        "basic SCU energy reduction (worst cell)",
+        2.0, "x", 1.2, INF, _fig11_column_min("energy_reduction_basic"),
+    ),
+    # -- Figure 12 ---------------------------------------------------------
+    Expectation(
+        "fig12.coalescing_improvement.avg", "fig12",
+        "average coalescing improvement from grouping (SSSP)",
+        27.0, "%", 10.0, 60.0, _fig12_average,
+    ),
+    Expectation(
+        "fig12.coalescing_improvement.min", "fig12",
+        "grouping improves coalescing on every dataset",
+        float("nan"), "%", 0.0, INF, _fig12_minimum,
+    ),
+    # -- Figure 13 ---------------------------------------------------------
+    Expectation(
+        "fig13.bandwidth_utilization.max", "fig13",
+        "graph workloads never saturate DRAM bandwidth",
+        float("nan"), "%", 0.0, 90.0, _fig13_max_utilization,
+    ),
+)
+
+_BY_ID: Dict[str, Expectation] = {e.id: e for e in EXPECTATIONS}
+
+
+def get_expectation(expectation_id: str) -> Expectation:
+    """Look one expectation up by id (raises on unknown ids)."""
+    if expectation_id not in _BY_ID:
+        raise ExperimentError(f"unknown expectation {expectation_id!r}")
+    return _BY_ID[expectation_id]
+
+
+def expectations_for(experiment_id: str) -> Tuple[Expectation, ...]:
+    """Every expectation checked against one paper artifact."""
+    return tuple(e for e in EXPECTATIONS if e.experiment == experiment_id)
+
+
+def scoreboard_experiments() -> Tuple[str, ...]:
+    """The experiment ids the fidelity scoreboard must reproduce."""
+    seen: List[str] = []
+    for expectation in EXPECTATIONS:
+        if expectation.experiment not in seen:
+            seen.append(expectation.experiment)
+    return tuple(seen)

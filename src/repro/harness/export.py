@@ -46,10 +46,15 @@ def load_json(path: str | Path) -> ExperimentResult:
     for key in ("experiment_id", "title", "columns", "rows"):
         if key not in payload:
             raise ExperimentError(f"{path}: missing field {key!r}")
-    result = ExperimentResult(
-        payload["experiment_id"], payload["title"], tuple(payload["columns"])
-    )
-    for row in payload["rows"]:
+    columns = tuple(payload["columns"])
+    result = ExperimentResult(payload["experiment_id"], payload["title"], columns)
+    for index, row in enumerate(payload["rows"]):
+        if not isinstance(row, list) or len(row) != len(columns):
+            got = len(row) if isinstance(row, list) else type(row).__name__
+            raise ExperimentError(
+                f"{path}: row {index} has {got} values, "
+                f"expected {len(columns)} ({', '.join(columns)})"
+            )
         result.add_row(*row)
     for note in payload.get("notes", []):
         result.add_note(note)

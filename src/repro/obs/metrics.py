@@ -208,6 +208,32 @@ class MetricsRegistry:
             for name, metric in sorted(self._metrics.items())
         }
 
+    def flat_snapshot(self) -> List[Dict[str, Any]]:
+        """Label-flattened, deterministically ordered JSON form.
+
+        One entry per (metric, label set), sorted by metric name and
+        then by the canonical label string, regardless of insertion or
+        observation order — so two registries that recorded the same
+        data serialize identically (bench artifacts diff cleanly).
+        Counter/gauge entries carry ``value``; histograms carry their
+        count/sum/min/max/mean stats.
+        """
+        out: List[Dict[str, Any]] = []
+        for name, payload in self.snapshot().items():
+            for series in payload["series"]:
+                entry: Dict[str, Any] = {
+                    "metric": name,
+                    "kind": payload["kind"],
+                    "labels": _format_labels(_label_key(series["labels"])),
+                }
+                if payload["kind"] == "histogram":
+                    for stat in ("count", "sum", "min", "max", "mean"):
+                        entry[stat] = series[stat]
+                else:
+                    entry["value"] = series["value"]
+                out.append(entry)
+        return out
+
     def render(self) -> str:
         """Human-readable dump, one line per (metric, label set)."""
         lines: List[str] = []

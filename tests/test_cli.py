@@ -63,6 +63,75 @@ class TestCommands:
         assert "AVG" in out
 
 
+class TestBenchCommand:
+    """`repro bench` on a minimal grid (one dataset, one GPU).
+
+    Simulation runs are memoized process-wide, so the first test pays
+    the sweep and the rest mostly re-time the wall-clock reps.
+    """
+
+    BASE = ["bench", "--datasets", "delaunay", "--gpu", "TX1",
+            "--reps", "1", "--no-progress"]
+
+    def test_quick_smoke_writes_valid_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_quick.json"
+        assert main(self.BASE + ["--quick", "--tag", "t", "--out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema_version"] == 1
+        assert doc["tag"] == "t"
+        # --datasets overrides --quick's subset; 3 algorithms x 3 modes
+        assert doc["grid"]["datasets"] == ["delaunay"]
+        assert len(doc["records"]) == 9
+        record = doc["records"][0]
+        assert record["wall"]["reps"] == 1
+        assert record["sim"]["sim_time_s"] > 0
+        assert record["sim"]["total_energy_j"] > 0
+        assert doc["provenance"]["python"]
+        assert doc["metrics"], "metrics snapshot must be embedded"
+        assert doc["scoreboard"]["passed"] > 0
+        out = capsys.readouterr().out
+        assert "fidelity" in out and "artifact written" in out
+
+    def test_compare_identical_baseline_passes(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main(self.BASE + ["--out", str(baseline), "--no-scoreboard"]) == 0
+        capsys.readouterr()
+        code = main(
+            self.BASE
+            + ["--out", str(tmp_path / "current.json"), "--no-scoreboard",
+               "--compare", str(baseline), "--wall-tolerance", "0"]
+        )
+        assert code == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_compare_detects_doctored_regression(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main(self.BASE + ["--out", str(baseline), "--no-scoreboard"]) == 0
+        doc = json.loads(baseline.read_text())
+        doc["records"][0]["sim"]["total_energy_j"] *= 1.5
+        baseline.write_text(json.dumps(doc))
+        capsys.readouterr()
+        code = main(
+            self.BASE
+            + ["--out", str(tmp_path / "current.json"), "--no-scoreboard",
+               "--compare", str(baseline), "--wall-tolerance", "0"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "SIM-DRIFT" in captured.out
+        assert "total_energy_j" in captured.out
+        assert "REGRESSION" in captured.err
+
+    def test_compare_missing_baseline_errors(self, capsys, tmp_path):
+        code = main(
+            self.BASE
+            + ["--out", str(tmp_path / "c.json"), "--no-scoreboard",
+               "--compare", str(tmp_path / "absent.json")]
+        )
+        assert code == 1
+        assert "no such artifact" in capsys.readouterr().err
+
+
 class TestObservabilityCommands:
     def test_trace_writes_chrome_file(self, capsys, tmp_path):
         out_path = tmp_path / "trace.json"

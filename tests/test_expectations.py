@@ -1,0 +1,110 @@
+"""Tests for the shared paper-expectations table."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness import (
+    EXPECTATIONS,
+    EXPERIMENTS,
+    ExperimentResult,
+    expectations_for,
+    get_expectation,
+    headline_value,
+    parse_measurement,
+    scoreboard_experiments,
+)
+
+
+class TestTableShape:
+    def test_ids_unique(self):
+        ids = [e.id for e in EXPECTATIONS]
+        assert len(ids) == len(set(ids))
+
+    def test_experiments_exist(self):
+        for expectation in EXPECTATIONS:
+            assert expectation.experiment in EXPERIMENTS, expectation.id
+
+    def test_bands_are_sane(self):
+        for expectation in EXPECTATIONS:
+            assert expectation.lo < expectation.hi, expectation.id
+
+    def test_paper_value_inside_own_band_when_published(self):
+        # Where the paper publishes a number, the acceptance band must
+        # at least admit the paper's own value.
+        for expectation in EXPECTATIONS:
+            if not math.isnan(expectation.paper_value):
+                assert expectation.check(expectation.paper_value), expectation.id
+
+    def test_headline_coverage(self):
+        # The abstract's four headline metrics are all represented.
+        ids = {e.id for e in expectations_for("headline")}
+        for metric in ("speedup", "energy_savings", "area_overhead"):
+            assert f"headline.{metric}.GTX980" in ids
+            assert f"headline.{metric}.TX1" in ids
+
+    def test_scoreboard_covers_required_figures(self):
+        covered = scoreboard_experiments()
+        for required in ("headline", "fig9", "fig10", "fig12"):
+            assert required in covered
+
+    def test_lookup(self):
+        expectation = get_expectation("headline.speedup.TX1")
+        assert expectation.paper_value == 2.32
+        with pytest.raises(ExperimentError, match="unknown expectation"):
+            get_expectation("headline.nonsense")
+
+
+class TestChecks:
+    def test_band_is_exclusive(self):
+        expectation = get_expectation("fig12.coalescing_improvement.avg")
+        assert expectation.check(27.0)
+        assert not expectation.check(10.0)
+        assert not expectation.check(60.0)
+
+    def test_nan_never_passes(self):
+        for expectation in EXPECTATIONS:
+            assert not expectation.check(float("nan")), expectation.id
+
+    def test_parse_measurement(self):
+        assert parse_measurement("1.37x") == pytest.approx(1.37)
+        assert parse_measurement("84.7%") == pytest.approx(84.7)
+        assert parse_measurement("~71%") == pytest.approx(71.0)
+        assert parse_measurement(" 3.3 ") == pytest.approx(3.3)
+
+
+class TestExtraction:
+    @staticmethod
+    def headline_table() -> ExperimentResult:
+        result = ExperimentResult(
+            "headline", "headline", ("metric", "gpu", "measured", "paper")
+        )
+        result.add_row("speedup", "TX1", "2.10x", "2.32x")
+        result.add_row("energy_savings", "TX1", "52.0%", "69%")
+        return result
+
+    def test_headline_value(self):
+        table = self.headline_table()
+        assert headline_value(table, "speedup", "TX1") == pytest.approx(2.10)
+        assert math.isnan(headline_value(table, "speedup", "GTX980"))
+
+    def test_headline_expectation_end_to_end(self):
+        table = self.headline_table()
+        expectation = get_expectation("headline.speedup.TX1")
+        assert expectation.check(expectation.extract(table))
+        skipped = get_expectation("headline.speedup.GTX980")
+        assert math.isnan(skipped.extract(table))
+
+    def test_fig9_extractors_on_synthetic_rows(self):
+        result = ExperimentResult(
+            "fig9", "energy",
+            ("algorithm", "gpu", "dataset", "normalized", "gpu_share", "scu_share"),
+        )
+        result.add_row("bfs", "TX1", "kron", 0.2, 0.1, 0.1)
+        result.add_row("sssp", "TX1", "kron", 0.4, 0.2, 0.2)
+        result.add_row("pagerank", "TX1", "kron", 0.8, 0.7, 0.1)
+        worst = get_expectation("fig9.normalized_energy.traversal.max")
+        assert worst.extract(result) == pytest.approx(0.4)
+        ratio = get_expectation("fig9.normalized_energy.bfs_over_pagerank")
+        assert ratio.extract(result) == pytest.approx(0.25)

@@ -44,6 +44,75 @@ class TestJson:
         with pytest.raises(ExperimentError, match="missing field"):
             load_json(path)
 
+    def test_load_reports_bad_row_with_index(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "experiment_id": "fig9",
+                    "title": "t",
+                    "columns": ["algorithm", "value"],
+                    "rows": [["bfs", 0.25], ["sssp"], ["pr", 0.5]],
+                }
+            )
+        )
+        with pytest.raises(
+            ExperimentError, match=r"row 1 has 1 values, expected 2"
+        ):
+            load_json(path)
+
+    def test_load_reports_non_list_row(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "experiment_id": "fig9",
+                    "title": "t",
+                    "columns": ["a"],
+                    "rows": ["oops"],
+                }
+            )
+        )
+        with pytest.raises(ExperimentError, match="row 0 has str"):
+            load_json(path)
+
+
+class TestRoundTrip:
+    """save -> load -> CSV with mixed cell types and notes."""
+
+    @pytest.fixture
+    def mixed(self):
+        r = ExperimentResult(
+            "table9",
+            "Mixed cells",
+            ("name", "count", "ratio", "verdict"),
+        )
+        r.add_row("kron", 7, 0.125, "pass")
+        r.add_row("human", 0, 2.5, "FAIL")
+        r.add_note("first note")
+        r.add_note("second note")
+        return r
+
+    def test_json_round_trip_preserves_types(self, mixed, tmp_path):
+        loaded = load_json(save_json(mixed, tmp_path / "m.json"))
+        assert loaded.rows == [
+            ("kron", 7, 0.125, "pass"),
+            ("human", 0, 2.5, "FAIL"),
+        ]
+        assert isinstance(loaded.rows[0][1], int)
+        assert isinstance(loaded.rows[0][2], float)
+        assert loaded.notes == ["first note", "second note"]
+
+    def test_csv_of_reloaded_result_matches_original(self, mixed, tmp_path):
+        direct = save_csv(mixed, tmp_path / "direct.csv").read_text()
+        reloaded = load_json(save_json(mixed, tmp_path / "m.json"))
+        via_json = save_csv(reloaded, tmp_path / "via.csv").read_text()
+        assert direct == via_json
+        lines = direct.splitlines()
+        assert lines[0] == "# first note"
+        assert lines[2] == "name,count,ratio,verdict"
+        assert lines[3] == "kron,7,0.125,pass"
+
 
 class TestCsv:
     def test_csv_contents(self, result, tmp_path):

@@ -173,6 +173,61 @@ class TestMetrics:
         assert registry.names() == [] and not registry.enabled
 
 
+class TestFlatSnapshot:
+    """The label-flattened JSON form bench artifacts embed."""
+
+    @staticmethod
+    def populate(registry, order):
+        """Record the same data in a caller-chosen order."""
+        for step in order:
+            if step == "counter-b":
+                registry.counter("scu.ops").inc(2, op="group")
+            elif step == "counter-a":
+                registry.counter("scu.ops").inc(3, op="filter")
+            elif step == "gauge":
+                registry.gauge("mem.l2.rate").set(0.5, gpu="TX1")
+            elif step == "hist":
+                registry.histogram("frontier").observe_many([1.0, 3.0], alg="bfs")
+
+    def test_entries_are_label_flattened(self):
+        registry = MetricsRegistry()
+        self.populate(registry, ("counter-a", "gauge", "hist"))
+        snap = registry.flat_snapshot()
+        assert {e["metric"] for e in snap} == {"scu.ops", "mem.l2.rate", "frontier"}
+        counter = next(e for e in snap if e["metric"] == "scu.ops")
+        assert counter == {
+            "metric": "scu.ops",
+            "kind": "counter",
+            "labels": "{op=filter}",
+            "value": 3.0,
+        }
+        hist = next(e for e in snap if e["metric"] == "frontier")
+        assert hist["kind"] == "histogram"
+        assert hist["count"] == 2 and hist["mean"] == pytest.approx(2.0)
+
+    def test_ordering_is_insertion_independent(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        self.populate(a, ("counter-a", "counter-b", "gauge", "hist"))
+        self.populate(b, ("hist", "gauge", "counter-b", "counter-a"))
+        assert a.flat_snapshot() == b.flat_snapshot()
+
+    def test_sorted_by_metric_then_labels(self):
+        registry = MetricsRegistry()
+        self.populate(registry, ("counter-b", "counter-a"))
+        registry.counter("a.first").inc()
+        snap = registry.flat_snapshot()
+        assert [(e["metric"], e["labels"]) for e in snap] == [
+            ("a.first", ""),
+            ("scu.ops", "{op=filter}"),
+            ("scu.ops", "{op=group}"),
+        ]
+
+    def test_json_serializable(self):
+        registry = MetricsRegistry()
+        self.populate(registry, ("counter-a", "hist"))
+        json.dumps(registry.flat_snapshot(), allow_nan=False)
+
+
 class TestProfiles:
     def test_wall_profile_self_time(self):
         tracer = Tracer(clock=FakeClock())
