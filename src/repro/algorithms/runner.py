@@ -9,8 +9,7 @@ can assemble all six figures without re-simulating.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict
 
 import numpy as np
 
@@ -19,7 +18,7 @@ from ..core.config import ScuConfig
 from ..errors import ExperimentError
 from ..graph.csr import CsrGraph
 from ..graph.datasets import load_dataset
-from ..obs import Observability, global_metrics
+from ..obs import LruCache, Observability
 from ..phases import RunReport
 from .bfs import run_bfs
 from .common import SystemMode
@@ -78,7 +77,7 @@ def run_algorithm(
 #: (a service embedding the simulator) grow without bound.
 RUN_CACHE_SIZE = 32
 
-_RUN_CACHE: "OrderedDict[Tuple, RunReport]" = OrderedDict()
+_RUN_CACHE = LruCache(RUN_CACHE_SIZE, metrics_prefix="runner.cache")
 
 
 def cached_run(
@@ -95,19 +94,12 @@ def cached_run(
     misses (and evictions) are recorded in the process-wide metrics
     registry under ``runner.cache.*``.
     """
-    metrics = global_metrics()
     key = (algorithm, dataset, gpu_name, mode, seed)
-    if key in _RUN_CACHE:
-        _RUN_CACHE.move_to_end(key)
-        metrics.counter("runner.cache.hits").inc()
-        return _RUN_CACHE[key]
-    metrics.counter("runner.cache.misses").inc()
-    graph = load_dataset(dataset, seed=seed)
-    _, report, _ = run_algorithm(algorithm, graph, gpu_name, mode)
-    _RUN_CACHE[key] = report
-    while len(_RUN_CACHE) > RUN_CACHE_SIZE:
-        _RUN_CACHE.popitem(last=False)
-        metrics.counter("runner.cache.evictions").inc()
+    report = _RUN_CACHE.get(key)
+    if report is None:
+        graph = load_dataset(dataset, seed=seed)
+        _, report, _ = run_algorithm(algorithm, graph, gpu_name, mode)
+        _RUN_CACHE.put(key, report)
     return report
 
 

@@ -50,16 +50,26 @@ SIM_METRIC_NAMES: Tuple[str, ...] = (
 
 @dataclass(frozen=True)
 class WallStats:
-    """Wall-clock statistics of N repetitions of one grid cell."""
+    """Wall-clock statistics of N repetitions of one grid cell.
+
+    ``warmup_s`` is the duration of one *discarded* first repetition:
+    the warmup pays the first-call costs (dataset-generation caches,
+    numpy allocator pools) that used to skew ``min``/``mean`` on small
+    grids, and is recorded separately so the skew stays visible in the
+    artifact.  ``None`` in artifacts written before the field existed.
+    """
 
     reps: int
     min_s: float
     median_s: float
     mean_s: float
     iqr_s: float  # interquartile range; 0.0 when reps < 4
+    warmup_s: Optional[float] = None  # discarded warmup rep, if measured
 
     @classmethod
-    def from_samples(cls, samples: Sequence[float]) -> "WallStats":
+    def from_samples(
+        cls, samples: Sequence[float], *, warmup_s: Optional[float] = None
+    ) -> "WallStats":
         if not samples:
             raise BenchError("wall statistics need at least one sample")
         ordered = sorted(samples)
@@ -74,6 +84,7 @@ class WallStats:
             median_s=statistics.median(ordered),
             mean_s=statistics.fmean(ordered),
             iqr_s=iqr,
+            warmup_s=warmup_s,
         )
 
 

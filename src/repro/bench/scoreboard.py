@@ -11,10 +11,14 @@ single GPU) simply skip the expectations whose rows are absent —
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..algorithms.common import SystemMode
+from ..algorithms.runner import ALGORITHM_NAMES
 from ..errors import ReproError
 from ..harness.expectations import EXPECTATIONS, scoreboard_experiments
+from ..harness.experiments import _mode_for
+from ..harness.parallel import SweepCell, sweep_cells
 from ..harness.registry import EXPERIMENTS
 from ..harness.results import ExperimentResult
 
@@ -98,12 +102,104 @@ def summarize(table: ExperimentResult) -> Tuple[int, int, int]:
     )
 
 
+def _fig12_gpu(gpus: Sequence[str]) -> str:
+    return "TX1" if "TX1" in gpus else gpus[0]
+
+
+def scoreboard_cells(
+    *, datasets: Sequence[str], gpus: Sequence[str]
+) -> List[SweepCell]:
+    """Every simulated grid cell the scoreboard experiments will request.
+
+    Enumerated in deterministic grid order so a parallel prewarm merges
+    the same way a serial sweep fills the cache.  Covers the GPU
+    baseline and effective SCU-enhanced cell of every (algorithm,
+    dataset, GPU), the basic-SCU cells Figure 11 compares (BFS/SSSP),
+    and Figure 12's filtering-only SSSP variants.
+    """
+    cells: List[SweepCell] = []
+    for algorithm in ALGORITHM_NAMES:
+        for dataset in datasets:
+            for gpu in gpus:
+                modes = [SystemMode.GPU, _mode_for(algorithm, SystemMode.SCU_ENHANCED)]
+                if algorithm in ("bfs", "sssp"):
+                    modes.append(SystemMode.SCU_BASIC)
+                for mode in dict.fromkeys(modes):
+                    cells.append(
+                        SweepCell(
+                            algorithm=algorithm, dataset=dataset, gpu=gpu, mode=mode
+                        )
+                    )
+    gpu = _fig12_gpu(gpus)
+    for dataset in datasets:
+        cells.append(
+            SweepCell(
+                algorithm="sssp",
+                dataset=dataset,
+                gpu=gpu,
+                mode=SystemMode.SCU_ENHANCED,
+                kwargs=(("enable_grouping", False),),
+            )
+        )
+    return cells
+
+
+def prewarm_scoreboard(
+    *,
+    datasets: Sequence[str],
+    gpus: Sequence[str],
+    jobs: int,
+    cell_timeout_s: Optional[float] = None,
+    retries: int = 1,
+    progress=None,
+) -> int:
+    """Simulate the scoreboard's grid cells ``jobs``-wide, priming the
+    experiment cache so the drivers afterwards are pure cache hits.
+
+    Cells already cached (e.g. just primed by the bench sweep) are
+    skipped.  Returns the number of cells actually simulated.
+    """
+    from ..harness.experiments import _MEMO  # the shared report cache
+
+    pending = [
+        cell
+        for cell in scoreboard_cells(datasets=datasets, gpus=gpus)
+        if cell.key not in _MEMO
+    ]
+    if pending:
+        sweep_cells(
+            pending,
+            jobs=jobs,
+            timeout_s=cell_timeout_s,
+            retries=retries,
+            progress=progress,
+        )
+    return len(pending)
+
+
 def build_scoreboard(
     *,
     datasets: Sequence[str],
     gpus: Sequence[str],
+    jobs: int = 1,
+    cell_timeout_s: Optional[float] = None,
+    retries: int = 1,
 ) -> ExperimentResult:
-    """Run the scoreboard experiments and evaluate the expectations."""
+    """Run the scoreboard experiments and evaluate the expectations.
+
+    With ``jobs > 1`` the underlying simulations are sharded across
+    worker processes first (deterministically merged into the shared
+    cache); the drivers themselves then assemble rows serially, so the
+    resulting table is identical for every ``jobs`` value.
+    """
+    if jobs > 1:
+        prewarm_scoreboard(
+            datasets=datasets,
+            gpus=gpus,
+            jobs=jobs,
+            cell_timeout_s=cell_timeout_s,
+            retries=retries,
+        )
     return evaluate_expectations(
         run_scoreboard_experiments(datasets=datasets, gpus=gpus)
     )

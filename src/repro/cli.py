@@ -63,6 +63,27 @@ def _cmd_datasets(_args) -> int:
     return 0
 
 
+def _run_modes_parallel(args, kwargs) -> list:
+    """Shard the three system modes across workers; reports in mode order."""
+    from .harness.parallel import SweepCell, sweep_cells
+
+    cells = [
+        SweepCell(
+            algorithm=args.algorithm,
+            dataset=args.dataset,
+            gpu=args.gpu,
+            mode=mode,
+            kwargs=tuple(sorted(kwargs.items())),
+        )
+        for mode in SystemMode
+    ]
+    outcomes = sweep_cells(cells, jobs=args.jobs)
+    return [
+        (outcome.cell.mode, outcome.payload.report, outcome.duration_s)
+        for outcome in outcomes
+    ]
+
+
 def _cmd_run(args) -> int:
     graph = load_dataset(args.dataset)
     print(f"{args.algorithm} on {graph} ({args.gpu})")
@@ -70,18 +91,26 @@ def _cmd_run(args) -> int:
     if args.source is not None and args.algorithm != "pagerank":
         kwargs["source"] = args.source
     obs = make_observability() if args.trace else None
-    baseline = None
-    for mode in SystemMode:
-        started = time.time()
-        if obs is not None:
-            with obs.tracer.span(f"run.{mode.value}", "cli", system=mode.value):
+    if obs is None and args.jobs > 1:
+        # Tracing needs one registry across all three runs, so --trace
+        # stays serial; otherwise the modes are independent simulations.
+        runs = _run_modes_parallel(args, kwargs)
+    else:
+        runs = []
+        for mode in SystemMode:
+            started = time.time()
+            if obs is not None:
+                with obs.tracer.span(f"run.{mode.value}", "cli", system=mode.value):
+                    _, report, _ = run_algorithm(
+                        args.algorithm, graph, args.gpu, mode, obs=obs, **kwargs
+                    )
+            else:
                 _, report, _ = run_algorithm(
-                    args.algorithm, graph, args.gpu, mode, obs=obs, **kwargs
+                    args.algorithm, graph, args.gpu, mode, **kwargs
                 )
-        else:
-            _, report, _ = run_algorithm(
-                args.algorithm, graph, args.gpu, mode, **kwargs
-            )
+            runs.append((mode, report, time.time() - started))
+    baseline = None
+    for mode, report, elapsed in runs:
         if baseline is None:
             baseline = (report.time_s(), report.total_energy_j())
         print(
@@ -89,7 +118,7 @@ def _cmd_run(args) -> int:
             f"({baseline[0] / report.time_s():5.2f}x)  "
             f"{report.total_energy_j() * 1e3:9.3f} mJ "
             f"({baseline[1] / report.total_energy_j():5.2f}x)  "
-            f"[simulated in {time.time() - started:.1f}s]"
+            f"[simulated in {elapsed:.1f}s]"
         )
     if obs is not None:
         obs.tracer.write_chrome(args.trace)
@@ -168,7 +197,11 @@ def _cmd_bench(args) -> int:
         scoreboard_table,
         short_git_sha,
     )
+    from .harness import clear_experiment_cache
 
+    # Each bench run measures from a cold experiment cache so repeated
+    # in-process invocations (--compare loops, tests) stay comparable.
+    clear_experiment_cache()
     grid = default_grid(
         quick=args.quick,
         algorithms=args.algorithms,
@@ -183,6 +216,9 @@ def _cmd_bench(args) -> int:
         tag=tag,
         with_scoreboard=not args.no_scoreboard,
         progress=progress,
+        jobs=args.jobs,
+        cell_timeout_s=args.cell_timeout,
+        retries=args.retries,
     )
     if artifact.scoreboard is not None:
         print()
@@ -266,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write a Chrome trace of all three system runs to PATH",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="simulate the three system modes across N worker processes "
+        "(ignored with --trace, which needs one shared trace registry)",
     )
     run_parser.set_defaults(func=_cmd_run)
 
@@ -355,6 +396,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--sim-tolerance", type=float, default=0.0, metavar="RTOL",
         help="relative tolerance for simulated metrics in --compare "
         "(default 0: exact, the determinism contract)",
+    )
+    bench_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard grid cells across N worker processes; results are "
+        "merged in grid order, so simulated metrics and the scoreboard "
+        "are identical for every N (default 1: in-process)",
+    )
+    bench_parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell deadline for parallel workers; a cell past the "
+        "deadline is retried, then run in-process (default: none)",
+    )
+    bench_parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="extra worker attempts per failed/timed-out cell before "
+        "the in-process fallback (default 1)",
     )
     bench_parser.add_argument(
         "--no-scoreboard", action="store_true",

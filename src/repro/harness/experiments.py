@@ -9,7 +9,7 @@ so assembling all figures costs one sweep.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..algorithms.common import SystemMode
 from ..algorithms.runner import ALGORITHM_NAMES, run_algorithm
@@ -17,13 +17,34 @@ from ..core.config import SCU_CONFIGS
 from ..gpu.config import GPU_SYSTEMS
 from ..graph.analysis import graph_stats
 from ..graph.datasets import DATASET_NAMES, load_dataset
+from ..obs import LruCache
 from ..phases import Engine, PhaseKind, RunReport
 from ..utils import geometric_mean
 from .results import ExperimentResult
 
 GPU_NAMES: Tuple[str, ...] = ("GTX980", "TX1")
 
-_MEMO: Dict[Tuple, RunReport] = {}
+#: Bound of the shared experiment-report cache.  The full paper grid is
+#: 3 algorithms x 6 datasets x 2 GPUs x 3 system modes (108 cells) plus
+#: Figure 12's filtering-only variants; 256 holds a complete sweep —
+#: so assembling all figures still costs one simulation per cell —
+#: while keeping a long-lived process (repeated ``bench --compare``
+#: invocations, a service embedding the harness) at bounded memory.
+EXPERIMENT_CACHE_SIZE = 256
+
+_MEMO = LruCache(EXPERIMENT_CACHE_SIZE, metrics_prefix="experiments.cache")
+
+
+def experiment_key(
+    algorithm: str, dataset: str, gpu_name: str, mode: SystemMode, **kwargs
+) -> Tuple:
+    """Canonical cache key of one simulated grid cell.
+
+    The parallel sweep engine primes the cache under the same keys the
+    figure drivers read, so the scoreboard sweep after a parallel bench
+    is pure cache hits.
+    """
+    return (algorithm, dataset, gpu_name, mode, tuple(sorted(kwargs.items())))
 
 
 def _run(
@@ -43,14 +64,24 @@ def _run(
     metrics snapshot while priming the same memo the figure drivers
     read.
     """
-    key = (algorithm, dataset, gpu_name, mode, tuple(sorted(kwargs.items())))
-    if key not in _MEMO:
+    key = experiment_key(algorithm, dataset, gpu_name, mode, **kwargs)
+    report = _MEMO.get(key)
+    if report is None:
         graph = load_dataset(dataset)
         _, report, _ = run_algorithm(
             algorithm, graph, gpu_name, mode, obs=obs, **kwargs
         )
-        _MEMO[key] = report
-    return _MEMO[key]
+        _MEMO.put(key, report)
+    return report
+
+
+def prime_experiment_cache(key: Tuple, report: RunReport) -> None:
+    """Install a report computed elsewhere (a sweep worker) under ``key``."""
+    _MEMO.put(key, report)
+
+
+def experiment_cache_len() -> int:
+    return len(_MEMO)
 
 
 def clear_experiment_cache() -> None:

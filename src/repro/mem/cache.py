@@ -88,16 +88,83 @@ class SetAssociativeCache:
         return False
 
     def access_lines(self, line_ids: np.ndarray) -> int:
-        """Access a sequence of line ids; returns the number of hits."""
-        hits = 0
-        for line in np.asarray(line_ids, dtype=np.int64):
-            hits += self.access_line(int(line))
+        """Access a sequence of line ids; returns the number of hits.
+
+        Batched equivalent of calling :meth:`access_line` per element.
+        Accesses to different sets are independent (LRU state is per
+        set; ages only need each set's relative access order), so the
+        stream is grouped by set index in one vectorized pass and each
+        set's subsequence is replayed with O(1)-per-access ordered-dict
+        bookkeeping — instead of the per-access numpy tag scans of the
+        scalar path.  Hit/miss/eviction counts, resulting residency,
+        and ages are identical to the scalar path (ages are assigned
+        from the access's global stream position).
+        """
+        lines = np.asarray(line_ids, dtype=np.int64).ravel()
+        n = int(lines.size)
+        if n == 0:
+            return 0
+        base_clock = self._clock
+        set_ids = lines & (self.num_sets - 1)
+        hits = misses = evictions = 0
+        # Stable sort groups same-set accesses while preserving each
+        # set's internal order (the order LRU depends on).
+        order = np.argsort(set_ids, kind="stable")
+        boundaries = np.nonzero(np.diff(set_ids[order]))[0] + 1
+        for chunk in np.split(order, boundaries):
+            set_idx = int(set_ids[chunk[0]])
+            # Rebuild this set's state as {line: age}, oldest first.
+            row_tags = self._tags[set_idx]
+            row_ages = self._ages[set_idx]
+            resident = sorted(
+                (int(a), int(t)) for t, a in zip(row_tags, row_ages) if t != -1
+            )
+            lru = {tag: age for age, tag in resident}
+            for pos in chunk.tolist():
+                line = int(lines[pos])
+                age = base_clock + pos + 1
+                if line in lru:
+                    hits += 1
+                    del lru[line]  # re-insert to refresh recency
+                else:
+                    misses += 1
+                    if len(lru) >= self.ways:
+                        evictions += 1
+                        del lru[next(iter(lru))]
+                lru[line] = age
+            # Write back (ways hold residents oldest-to-newest; way
+            # placement is immaterial: victim choice keys on age only).
+            row_tags.fill(-1)
+            row_ages.fill(0)
+            for way, (tag, age) in enumerate(lru.items()):
+                row_tags[way] = tag
+                row_ages[way] = age
+        self._clock = base_clock + n
+        self.stats.accesses += n
+        self.stats.hits += hits
+        self.stats.misses += misses
+        self.stats.evictions += evictions
+        if self.obs.enabled:
+            if hits:
+                self.obs.metrics.counter("cache.hits").inc(hits, cache=self.name)
+            if misses:
+                self.obs.metrics.counter("cache.misses").inc(misses, cache=self.name)
         return hits
 
     def access_addresses(self, addresses: np.ndarray) -> int:
         """Access byte addresses (converted to lines); returns hits."""
         shift = int(self.line_bytes).bit_length() - 1
         return self.access_lines(np.asarray(addresses, dtype=np.int64) >> shift)
+
+    def access_coalesced(self, result) -> int:
+        """Access a coalescer's transactions, converting sector ids to
+        this cache's line granularity; returns hits.
+
+        This is the granularity-safe entry point for feeding a
+        :class:`~repro.mem.coalescer.CoalesceResult` (whose ``line_ids``
+        are 32-byte sector ids) into a cache with wider lines.
+        """
+        return self.access_lines(result.cache_line_ids(self.line_bytes))
 
     def reset(self) -> None:
         self._tags.fill(-1)

@@ -33,11 +33,19 @@ WARP_SIZE = 32
 
 @dataclass(frozen=True)
 class CoalesceResult:
-    """Outcome of running an address stream through a coalescer."""
+    """Outcome of running an address stream through a coalescer.
+
+    ``line_ids`` are **sector** ids at ``sector_bytes`` granularity (one
+    per transaction) — not cache-line ids.  Downstream cache models that
+    track a different block size must convert via
+    :meth:`cache_line_ids`; feeding sector ids straight into a 128-byte
+    line cache silently mis-sizes the working set by 4x.
+    """
 
     accesses: int
     transactions: int
-    line_ids: np.ndarray  # one entry per transaction, for cache modeling
+    line_ids: np.ndarray  # one sector id per transaction, for cache modeling
+    sector_bytes: int = SECTOR_BYTES
 
     @property
     def coalescing_factor(self) -> float:
@@ -48,7 +56,22 @@ class CoalesceResult:
 
     @property
     def bytes_transferred(self) -> int:
-        return self.transactions * SECTOR_BYTES
+        return self.transactions * self.sector_bytes
+
+    def cache_line_ids(self, line_bytes: int) -> np.ndarray:
+        """Transaction ids at ``line_bytes`` granularity.
+
+        Identity when the granularities already match; otherwise each
+        sector id maps into the (coarser) cache line containing it.
+        """
+        if line_bytes == self.sector_bytes:
+            return self.line_ids
+        if line_bytes < self.sector_bytes or line_bytes % self.sector_bytes:
+            raise SimulationError(
+                f"cache line size {line_bytes} is not a multiple of the "
+                f"transaction sector size {self.sector_bytes}"
+            )
+        return self.line_ids // (line_bytes // self.sector_bytes)
 
 
 def _unique_per_row(lines: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -91,7 +114,7 @@ def coalesce_warp(
         addresses = addresses[active_mask]
     n = addresses.size
     if n == 0:
-        return CoalesceResult(0, 0, np.empty(0, dtype=np.int64))
+        return CoalesceResult(0, 0, np.empty(0, dtype=np.int64), sector_bytes)
 
     shift = int(sector_bytes).bit_length() - 1
     lines = addresses >> shift
@@ -105,6 +128,7 @@ def coalesce_warp(
         accesses=n,
         transactions=int(keep.sum()),
         line_ids=rows_sorted[keep],
+        sector_bytes=sector_bytes,
     )
 
 
@@ -127,7 +151,7 @@ def coalesce_stream(
     addresses = np.asarray(addresses, dtype=np.int64)
     n = addresses.size
     if n == 0:
-        return CoalesceResult(0, 0, np.empty(0, dtype=np.int64))
+        return CoalesceResult(0, 0, np.empty(0, dtype=np.int64), sector_bytes)
 
     shift = int(sector_bytes).bit_length() - 1
     lines = addresses >> shift
@@ -138,7 +162,12 @@ def coalesce_stream(
     start_index = np.maximum.accumulate(np.where(run_start, indices, 0))
     position = indices - start_index
     keep = position % merge_window == 0
-    return CoalesceResult(accesses=n, transactions=int(keep.sum()), line_ids=lines[keep])
+    return CoalesceResult(
+        accesses=n,
+        transactions=int(keep.sum()),
+        line_ids=lines[keep],
+        sector_bytes=sector_bytes,
+    )
 
 
 def sequential_addresses(

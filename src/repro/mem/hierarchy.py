@@ -68,12 +68,19 @@ class MemoryStats:
         )
 
 
-def row_hit_fraction(line_ids: np.ndarray, *, row_bytes: int = 2048) -> float:
-    """Fraction of consecutive DRAM transactions staying in the same row."""
+def row_hit_fraction(
+    line_ids: np.ndarray, *, row_bytes: int = 2048, sector_bytes: int = SECTOR_BYTES
+) -> float:
+    """Fraction of consecutive DRAM transactions staying in the same row.
+
+    ``line_ids`` are transaction ids at ``sector_bytes`` granularity —
+    callers passing ids of a different block size must say so, or rows
+    are mis-sized by the granularity ratio.
+    """
     line_ids = np.asarray(line_ids, dtype=np.int64)
     if line_ids.size < 2:
         return 0.5
-    lines_per_row = max(1, row_bytes // SECTOR_BYTES)
+    lines_per_row = max(1, row_bytes // sector_bytes)
     rows = line_ids // lines_per_row
     return float(np.mean(rows[1:] == rows[:-1]))
 
@@ -107,7 +114,12 @@ class MemoryHierarchy:
         """
         if result.transactions == 0:
             return MemoryStats()
-        profile = profile_lines(result.line_ids)
+        # The coalescer emits *sector* ids; the L2 tracks residency at
+        # its own line granularity.  Convert before profiling reuse —
+        # with the default sector-sized L2 lines this is the identity,
+        # but a 128-byte-line configuration would otherwise overstate
+        # the working set (and understate hits) by the size ratio.
+        profile = profile_lines(result.cache_line_ids(self.l2_line_bytes))
         if l2_bypass:
             hit_rate = 0.0
         else:
@@ -120,7 +132,7 @@ class MemoryHierarchy:
             metrics.counter("mem.l2.transactions").inc(result.transactions)
             metrics.counter("mem.l2.hits").inc(l2_hits)
             metrics.counter("mem.l2.misses").inc(dram_accesses)
-            metrics.counter("mem.dram.bytes").inc(dram_accesses * SECTOR_BYTES)
+            metrics.counter("mem.dram.bytes").inc(dram_accesses * result.sector_bytes)
             metrics.histogram("mem.l2.hit_rate").observe(hit_rate)
         # DRAM sees the miss stream; its locality mirrors the transaction
         # stream's (misses preserve order through the L2 miss queue).
@@ -129,8 +141,12 @@ class MemoryHierarchy:
             transactions=result.transactions,
             l2_hits=l2_hits,
             dram_accesses=dram_accesses,
-            dram_bytes=dram_accesses * SECTOR_BYTES,
-            row_hit_fraction=row_hit_fraction(result.line_ids, row_bytes=self.dram.row_bytes),
+            dram_bytes=dram_accesses * result.sector_bytes,
+            row_hit_fraction=row_hit_fraction(
+                result.line_ids,
+                row_bytes=self.dram.row_bytes,
+                sector_bytes=result.sector_bytes,
+            ),
         )
 
     def dram_time_s(self, stats: MemoryStats) -> float:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .lru import LruCache
 from .metrics import (
     NULL_METRICS,
     Counter,
@@ -31,6 +32,7 @@ from .metrics import (
     MetricsRegistry,
     NullMetrics,
     global_metrics,
+    merge_flat_snapshots,
 )
 from .profile import (
     render_sim_profile,
@@ -83,6 +85,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "global_metrics",
+    "merge_flat_snapshots",
+    "LruCache",
     "wall_profile",
     "sim_profile",
     "render_wall_profile",

@@ -1,0 +1,86 @@
+"""Bounded LRU cache with observability counters.
+
+One reusable cache class backs every memoized-result store in the
+repository — the whole-run cache of :mod:`repro.algorithms.runner` and
+the experiment-report cache of :mod:`repro.harness.experiments`.  Both
+used to manage their own dictionaries (one of them unbounded); sharing
+the implementation means every cache is bounded, LRU-evicting, and
+reports ``<prefix>.hits`` / ``<prefix>.misses`` / ``<prefix>.evictions``
+into the process-wide metrics registry the same way.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+from ..errors import ObservabilityError
+from .metrics import MetricsRegistry, global_metrics
+
+_SENTINEL = object()
+
+
+class LruCache:
+    """A bounded, least-recently-used mapping with cache metrics.
+
+    Args:
+        capacity: maximum number of entries; inserting beyond it evicts
+            the least recently used entry.
+        metrics_prefix: counter-name prefix (``<prefix>.hits`` etc.);
+            ``None`` disables metric recording.
+        registry: registry the counters go to; defaults to the
+            process-wide :func:`~repro.obs.metrics.global_metrics`.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        metrics_prefix: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if capacity <= 0:
+            raise ObservabilityError(
+                f"LRU cache capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._prefix = metrics_prefix
+        self._registry = registry
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def _count(self, event: str) -> None:
+        if self._prefix is None:
+            return
+        registry = self._registry if self._registry is not None else global_metrics()
+        registry.counter(f"{self._prefix}.{event}").inc()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency; counts a hit or miss."""
+        value = self._data.get(key, _SENTINEL)
+        if value is _SENTINEL:
+            self._count("misses")
+            return default
+        self._data.move_to_end(key)
+        self._count("hits")
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries past capacity."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self._count("evictions")
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self.put(key, value)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        # Membership is a passive probe: no recency refresh, no counters.
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -289,6 +289,44 @@ class NullMetrics(MetricsRegistry):
         return _NULL_HISTOGRAM
 
 
+def merge_flat_snapshots(
+    snapshots: Iterable[List[Dict[str, Any]]],
+) -> List[Dict[str, Any]]:
+    """Combine ``flat_snapshot`` payloads from several registries.
+
+    The parallel sweep engine runs grid cells in worker processes, each
+    with its own registry; this merges their snapshots into the single
+    list a bench artifact embeds.  Entries are keyed by (metric, kind,
+    labels): counters sum, gauges take the value of the *latest*
+    snapshot in iteration order (callers pass snapshots in grid order,
+    matching what a shared serial registry would retain), and histograms
+    pool their count/sum/min/max with the mean recomputed.  Output
+    ordering matches :meth:`MetricsRegistry.flat_snapshot` — sorted by
+    metric name then canonical label string — so a merged payload diffs
+    cleanly against a serial one.
+    """
+    merged: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for entry in snapshot:
+            key = (entry["metric"], entry["kind"], entry["labels"])
+            current = merged.get(key)
+            if current is None:
+                merged[key] = dict(entry)
+            elif entry["kind"] == "counter":
+                current["value"] += entry["value"]
+            elif entry["kind"] == "gauge":
+                current["value"] = entry["value"]
+            else:  # histogram
+                current["count"] += entry["count"]
+                current["sum"] += entry["sum"]
+                current["min"] = min(current["min"], entry["min"])
+                current["max"] = max(current["max"], entry["max"])
+                current["mean"] = (
+                    current["sum"] / current["count"] if current["count"] else 0.0
+                )
+    return [merged[key] for key in sorted(merged)]
+
+
 #: Process-wide disabled registry; the default everywhere.
 NULL_METRICS = NullMetrics()
 

@@ -102,6 +102,15 @@ class TestWallStats:
         with pytest.raises(BenchError, match="at least one sample"):
             WallStats.from_samples([])
 
+    def test_warmup_recorded_but_excluded_from_stats(self):
+        stats = WallStats.from_samples([0.1, 0.1], warmup_s=5.0)
+        assert stats.warmup_s == 5.0
+        assert stats.reps == 2
+        assert stats.min_s == stats.mean_s == 0.1  # warmup not pooled
+
+    def test_warmup_defaults_to_none(self):
+        assert WallStats.from_samples([0.1]).warmup_s is None
+
 
 class TestSimMetrics:
     def test_from_report(self):
@@ -152,6 +161,24 @@ class TestArtifactRoundTrip:
         assert "NaN" not in path.read_text()
         loaded = BenchArtifact.load(path)
         assert loaded.records[0].sim.compaction_fraction is None
+
+    def test_warmup_round_trips(self, tmp_path):
+        record = make_record(
+            wall=WallStats.from_samples([0.1, 0.1], warmup_s=0.7)
+        )
+        path = make_artifact([record]).save(tmp_path / "w.json")
+        loaded = BenchArtifact.load(path)
+        assert loaded.records[0].wall.warmup_s == 0.7
+
+    def test_pre_warmup_artifact_loads_with_none(self, tmp_path):
+        # Artifacts written before the warmup_s field existed have no
+        # such key; they must keep loading (same schema version).
+        payload = make_artifact([make_record()]).to_dict()
+        del payload["records"][0]["wall"]["warmup_s"]
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(payload))
+        loaded = BenchArtifact.load(path)
+        assert loaded.records[0].wall.warmup_s is None
 
     def test_wrong_schema_version_rejected(self, tmp_path):
         payload = make_artifact([make_record()]).to_dict()

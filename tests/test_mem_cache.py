@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.mem import (
     LocalityProfile,
     SetAssociativeCache,
@@ -13,6 +13,7 @@ from repro.mem import (
     estimate_hits,
     profile_lines,
 )
+from repro.mem.coalescer import SECTOR_BYTES, coalesce_stream
 
 
 class TestSetAssociativeCache:
@@ -76,6 +77,92 @@ class TestSetAssociativeCache:
     def test_non_power_of_two_sets_rejected(self):
         with pytest.raises(ConfigError):
             SetAssociativeCache(capacity_bytes=3 * 64 * 2, line_bytes=64, ways=2)
+
+
+class TestBatchedMatchesScalar:
+    """access_lines must be behaviorally identical to per-line access_line."""
+
+    @staticmethod
+    def replay_scalar(cache: SetAssociativeCache, lines: np.ndarray) -> int:
+        return sum(cache.access_line(int(line)) for line in lines)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_random_streams(self, seed):
+        rng = np.random.default_rng(seed)
+        lines = rng.integers(0, 64, size=500)
+        scalar = SetAssociativeCache(capacity_bytes=2048, line_bytes=64, ways=2)
+        batched = SetAssociativeCache(capacity_bytes=2048, line_bytes=64, ways=2)
+        scalar_hits = self.replay_scalar(scalar, lines)
+        batched_hits = batched.access_lines(lines)
+        assert batched_hits == scalar_hits
+        assert vars(batched.stats) == vars(scalar.stats)
+        # residency is identical too: any future probe behaves the same
+        probes = rng.integers(0, 64, size=100)
+        assert batched.access_lines(probes) == self.replay_scalar(scalar, probes)
+
+    def test_interleaved_batched_and_scalar_calls(self):
+        lines = np.array([0, 2, 4, 2, 0, 6, 4, 0])
+        a = SetAssociativeCache(capacity_bytes=256, line_bytes=64, ways=2)
+        b = SetAssociativeCache(capacity_bytes=256, line_bytes=64, ways=2)
+        a.access_lines(lines[:4])
+        for line in lines[4:]:
+            a.access_line(int(line))
+        b_hits = self.replay_scalar(b, lines)
+        assert a.stats.hits == b_hits
+        assert vars(a.stats) == vars(b.stats)
+
+    def test_empty_batch_is_a_no_op(self):
+        cache = SetAssociativeCache(capacity_bytes=256, line_bytes=64, ways=2)
+        assert cache.access_lines(np.array([], dtype=np.int64)) == 0
+        assert cache.stats.accesses == 0
+
+
+class TestSectorToLineGranularity:
+    """CoalesceResult sector ids vs wider cache lines (the 32 B/128 B bug)."""
+
+    @staticmethod
+    def result_for(addresses):
+        return coalesce_stream(np.asarray(addresses, dtype=np.int64))
+
+    def test_identity_when_granularities_match(self):
+        result = self.result_for([0, 32, 64])
+        assert np.array_equal(
+            result.cache_line_ids(SECTOR_BYTES), result.line_ids
+        )
+
+    def test_sectors_collapse_into_wider_lines(self):
+        # 32 consecutive sectors = 1024 B = exactly eight 128 B lines.
+        result = self.result_for(np.arange(32) * SECTOR_BYTES)
+        line_ids = result.cache_line_ids(128)
+        assert result.line_ids.size == 32
+        assert len(np.unique(line_ids)) == 8
+
+    def test_narrower_or_misaligned_lines_rejected(self):
+        result = self.result_for([0, 32])
+        with pytest.raises(SimulationError):
+            result.cache_line_ids(16)
+        with pytest.raises(SimulationError):
+            result.cache_line_ids(48)
+
+    def test_access_coalesced_pins_hit_rate(self):
+        # Regression pin: sector ids fed into a 128 B-line cache used to
+        # be treated as line ids, spreading one line's sectors over four
+        # distinct lines (4x the working set, zero sector-local reuse).
+        result = self.result_for(np.arange(32) * SECTOR_BYTES)
+        cache = SetAssociativeCache(
+            capacity_bytes=4096, line_bytes=128, ways=4
+        )
+        hits = cache.access_coalesced(result)
+        # 8 distinct 128 B lines, 4 sectors each: 8 cold misses, 24 hits.
+        assert hits == 24
+        assert cache.stats.accesses == 32
+        assert cache.stats.hit_rate == pytest.approx(0.75)
+        # The buggy path (raw sector ids) would have been all misses.
+        buggy = SetAssociativeCache(
+            capacity_bytes=4096, line_bytes=128, ways=4
+        )
+        assert buggy.access_lines(result.line_ids) == 0
 
 
 class TestLocalityProfile:

@@ -23,11 +23,13 @@ from repro.errors import ObservabilityError
 from repro.graph.datasets import load_dataset
 from repro.obs import (
     NULL_OBS,
+    LruCache,
     MetricsRegistry,
     Observability,
     Tracer,
     global_metrics,
     make_observability,
+    merge_flat_snapshots,
     sim_profile,
     wall_profile,
 )
@@ -280,6 +282,98 @@ class TestDeterminism:
             assert a.time_s == b.time_s
             assert a.dynamic_energy_j == b.dynamic_energy_j
             assert a.memory.dram_bytes == b.memory.dram_bytes
+
+
+class TestLruCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObservabilityError, match="capacity"):
+            LruCache(0)
+
+    def test_get_put_and_bound(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert len(cache) == 2
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # now "b" is LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_counters_report_to_registry(self):
+        registry = MetricsRegistry()
+        cache = LruCache(1, metrics_prefix="test.cache", registry=registry)
+        cache.get("missing")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)  # evicts "a"
+        assert registry.counter("test.cache.misses").total() == 1
+        assert registry.counter("test.cache.hits").total() == 1
+        assert registry.counter("test.cache.evictions").total() == 1
+
+    def test_contains_is_passive(self):
+        registry = MetricsRegistry()
+        cache = LruCache(4, metrics_prefix="test.cache", registry=registry)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        assert registry.counter("test.cache.hits").total() == 0
+        assert registry.counter("test.cache.misses").total() == 0
+
+    def test_clear(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and "a" not in cache
+
+
+class TestMergeFlatSnapshots:
+    def test_counters_sum_gauges_take_last(self):
+        a = [
+            {"metric": "c", "kind": "counter", "labels": "", "value": 2.0},
+            {"metric": "g", "kind": "gauge", "labels": "", "value": 1.0},
+        ]
+        b = [
+            {"metric": "c", "kind": "counter", "labels": "", "value": 3.0},
+            {"metric": "g", "kind": "gauge", "labels": "", "value": 7.0},
+        ]
+        merged = {(e["metric"], e["kind"]): e for e in merge_flat_snapshots([a, b])}
+        assert merged[("c", "counter")]["value"] == 5.0
+        assert merged[("g", "gauge")]["value"] == 7.0
+
+    def test_histograms_pool(self):
+        a = [{
+            "metric": "h", "kind": "histogram", "labels": "",
+            "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }]
+        b = [{
+            "metric": "h", "kind": "histogram", "labels": "",
+            "count": 1, "sum": 9.0, "min": 9.0, "max": 9.0, "mean": 9.0,
+        }]
+        (merged,) = merge_flat_snapshots([a, b])
+        assert merged["count"] == 3
+        assert merged["sum"] == 13.0
+        assert merged["min"] == 1.0
+        assert merged["max"] == 9.0
+        assert merged["mean"] == pytest.approx(13.0 / 3)
+
+    def test_distinct_labels_stay_separate(self):
+        a = [{"metric": "c", "kind": "counter", "labels": "x=1", "value": 1.0}]
+        b = [{"metric": "c", "kind": "counter", "labels": "x=2", "value": 1.0}]
+        assert len(merge_flat_snapshots([a, b])) == 2
+
+    def test_output_is_sorted_and_deterministic(self):
+        a = [{"metric": "z", "kind": "counter", "labels": "", "value": 1.0}]
+        b = [{"metric": "a", "kind": "counter", "labels": "", "value": 1.0}]
+        assert merge_flat_snapshots([a, b]) == merge_flat_snapshots([b, a])
+        metrics = [e["metric"] for e in merge_flat_snapshots([a, b])]
+        assert metrics == sorted(metrics)
 
 
 class TestRunCacheLru:

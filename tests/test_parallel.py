@@ -1,0 +1,252 @@
+"""Tests for the parallel sweep engine (repro.harness.parallel).
+
+Covers the generic scheduler (ordering, retry after worker crash,
+per-cell timeout, in-process fallback) with cheap synthetic workers,
+and the simulation-cell layer's determinism contract: ``--jobs N``
+produces byte-identical simulated metrics for every N.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.algorithms.common import SystemMode
+from repro.bench import run_bench
+from repro.bench.runner import BenchGrid
+from repro.errors import ExperimentError
+from repro.harness import (
+    EXPERIMENT_CACHE_SIZE,
+    clear_experiment_cache,
+    experiment_cache_len,
+    prime_experiment_cache,
+)
+from repro.harness.parallel import (
+    SweepCell,
+    run_sweep,
+    simulate_cell,
+    sweep_cells,
+)
+
+# ---------------------------------------------------------------------------
+# Module-level workers (must be picklable by reference for fork dispatch)
+# ---------------------------------------------------------------------------
+
+
+def square(task):
+    return task * task
+
+
+def flaky_once(task):
+    """Crash hard on the first attempt, succeed on the retry.
+
+    ``task`` is ``(marker_path, value)``: the marker file records that a
+    first attempt happened.  ``os._exit`` dies without sending a result,
+    which is exactly what an OOM kill looks like to the scheduler.
+    """
+    marker, value = task
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("attempted")
+        os._exit(1)
+    return value
+
+
+def dies_in_workers(task):
+    """Succeed only in the parent process — every worker attempt crashes."""
+    parent_pid, value = task
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    return value
+
+
+def hangs_in_workers(task):
+    """Sleep past any deadline in workers, return instantly in the parent."""
+    parent_pid, value = task
+    if os.getpid() != parent_pid:
+        time.sleep(60.0)
+    return value
+
+
+def always_raises(task):
+    raise ValueError(f"bad task {task!r}")
+
+
+class TestRunSweep:
+    def test_serial_runs_in_process(self):
+        outcomes = run_sweep([1, 2, 3], square, jobs=1)
+        assert [o.value for o in outcomes] == [1, 4, 9]
+        assert all(o.worker_pid == os.getpid() for o in outcomes)
+        assert all(o.attempts == 1 and not o.fell_back for o in outcomes)
+
+    def test_parallel_results_in_task_order(self):
+        tasks = list(range(7))
+        outcomes = run_sweep(tasks, square, jobs=3)
+        assert [o.index for o in outcomes] == tasks
+        assert [o.value for o in outcomes] == [t * t for t in tasks]
+
+    def test_parallel_matches_serial(self):
+        tasks = [3, 1, 4, 1, 5, 9]
+        serial = [o.value for o in run_sweep(tasks, square, jobs=1)]
+        parallel = [o.value for o in run_sweep(tasks, square, jobs=4)]
+        assert serial == parallel
+
+    def test_worker_crash_is_retried(self, tmp_path):
+        marker = str(tmp_path / "first-attempt")
+        (outcome,) = run_sweep(
+            [(marker, 42)], flaky_once, jobs=2, retries=1
+        )
+        assert outcome.value == 42
+        assert outcome.attempts == 2
+        assert not outcome.fell_back
+
+    def test_exhausted_retries_fall_back_in_process(self):
+        task = (os.getpid(), 7)
+        (outcome,) = run_sweep([task], dies_in_workers, jobs=2, retries=1)
+        assert outcome.value == 7
+        assert outcome.fell_back
+        assert outcome.worker_pid == os.getpid()
+        assert outcome.attempts == 3  # two worker crashes + the fallback
+
+    def test_timeout_kills_worker_and_falls_back(self):
+        task = (os.getpid(), 11)
+        started = time.perf_counter()
+        (outcome,) = run_sweep(
+            [task], hangs_in_workers, jobs=2, timeout_s=0.5, retries=0
+        )
+        elapsed = time.perf_counter() - started
+        assert outcome.value == 11
+        assert outcome.fell_back
+        assert elapsed < 30.0  # the 60 s worker sleep was cut short
+
+    def test_worker_exception_propagates_via_fallback(self):
+        # Retries exhaust, then the in-process fallback raises for real.
+        with pytest.raises(ValueError, match="bad task"):
+            run_sweep([1], always_raises, jobs=2, retries=0)
+
+    def test_empty_task_list(self):
+        assert run_sweep([], square, jobs=4) == []
+
+
+# The smallest real simulation cell: BFS on the smallest dataset.
+CELL = SweepCell(algorithm="bfs", dataset="human", gpu="TX1", mode=SystemMode.GPU)
+
+
+def _sim_fingerprint(report):
+    return (
+        report.time_s(),
+        report.total_energy_j(),
+        report.dram_bytes(),
+        report.instructions(),
+        len(report.phases),
+    )
+
+
+class TestSweepCells:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ExperimentError, match="jobs"):
+            sweep_cells([CELL], jobs=0)
+
+    def test_serial_and_parallel_reports_identical(self):
+        cells = [
+            SweepCell(algorithm="bfs", dataset="human", gpu="TX1", mode=mode)
+            for mode in SystemMode
+        ]
+        serial = sweep_cells(cells, jobs=1, prime_cache=False)
+        parallel = sweep_cells(cells, jobs=2, prime_cache=False)
+        assert [o.cell for o in serial] == cells
+        assert [o.cell for o in parallel] == cells
+        for a, b in zip(serial, parallel):
+            assert _sim_fingerprint(a.payload.report) == _sim_fingerprint(
+                b.payload.report
+            )
+
+    def test_reps_record_warmup_and_samples(self):
+        cell = SweepCell(
+            algorithm="bfs",
+            dataset="human",
+            gpu="TX1",
+            mode=SystemMode.GPU,
+            reps=2,
+        )
+        payload = simulate_cell(cell)
+        assert len(payload.wall_samples) == 2
+        assert payload.warmup_s is not None and payload.warmup_s > 0.0
+
+    def test_no_reps_skips_wall_measurement(self):
+        payload = simulate_cell(CELL)
+        assert payload.wall_samples == ()
+        assert payload.warmup_s is None
+
+    def test_worker_metrics_come_back_with_the_payload(self):
+        payload = simulate_cell(CELL)
+        names = {entry["metric"] for entry in payload.metrics}
+        assert any(name.startswith("mem.") for name in names)
+
+    def test_sweep_primes_the_experiment_cache(self):
+        clear_experiment_cache()
+        sweep_cells([CELL], jobs=1)
+        assert experiment_cache_len() == 1
+        from repro.harness.experiments import _MEMO
+
+        assert CELL.key in _MEMO
+
+
+class TestExperimentCacheBound:
+    def test_repeated_priming_stays_bounded(self):
+        clear_experiment_cache()
+        for sweep in range(3):
+            for i in range(EXPERIMENT_CACHE_SIZE):
+                prime_experiment_cache(("fake", sweep, i), object())
+            assert experiment_cache_len() <= EXPERIMENT_CACHE_SIZE
+        clear_experiment_cache()
+
+    def test_repeated_sweeps_do_not_grow_the_cache(self):
+        clear_experiment_cache()
+        sweep_cells([CELL], jobs=1)
+        first = experiment_cache_len()
+        sweep_cells([CELL], jobs=1)
+        assert experiment_cache_len() == first
+        clear_experiment_cache()
+
+
+class TestRunBenchDeterminism:
+    """The acceptance contract: --jobs N never changes simulated output."""
+
+    @staticmethod
+    def tiny_grid() -> BenchGrid:
+        return BenchGrid(
+            algorithms=("bfs",),
+            datasets=("human",),
+            gpus=("TX1",),
+            modes=tuple(SystemMode),
+            reps=1,
+            quick=True,
+        )
+
+    def test_records_identical_across_jobs(self):
+        clear_experiment_cache()
+        serial = run_bench(self.tiny_grid(), tag="j1", with_scoreboard=False)
+        clear_experiment_cache()
+        parallel = run_bench(
+            self.tiny_grid(), tag="j2", with_scoreboard=False, jobs=2
+        )
+        assert len(serial.records) == len(parallel.records) == 3
+        for a, b in zip(serial.records, parallel.records):
+            assert (a.algorithm, a.dataset, a.gpu, a.mode) == (
+                b.algorithm,
+                b.dataset,
+                b.gpu,
+                b.mode,
+            )
+            assert a.effective_mode == b.effective_mode
+            assert a.sim.as_dict() == b.sim.as_dict()
+            assert a.wall.warmup_s is not None
+
+    def test_worker_sim_metrics_land_in_the_artifact(self):
+        clear_experiment_cache()
+        artifact = run_bench(
+            self.tiny_grid(), tag="jm", with_scoreboard=False, jobs=2
+        )
+        names = {entry["metric"] for entry in artifact.metrics}
+        assert any(name.startswith("mem.") for name in names)
