@@ -24,9 +24,9 @@ def test_ablation_pipeline_width(benchmark, gpu):
         times, areas = {}, {}
         for width in WIDTHS:
             config = SCU_CONFIGS[gpu].with_pipeline_width(width)
-            _, report, _ = run_algorithm(
+            report = run_algorithm(
                 "bfs", graph, gpu, SystemMode.SCU_ENHANCED, scu_config=config
-            )
+            ).report
             times[width] = report.time_s()
             areas[width] = config.area_mm2
         return times, areas

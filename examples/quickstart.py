@@ -24,7 +24,7 @@ def figure2_graph():
 def main():
     # --- the paper's toy example -----------------------------------------
     graph = figure2_graph()
-    distances, _, _ = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED, source=0)
+    distances = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED, source=0).result
     names = "ABCDEFG"
     print("BFS distances on the paper's Figure 2 graph (source A):")
     print("  " + "  ".join(f"{n}={d}" for n, d in zip(names, distances)))
@@ -37,8 +37,9 @@ def main():
 
     baseline_time = None
     for mode in SystemMode:
-        distances, report, system = run_algorithm("bfs", graph, "TX1", mode, source=0)
-        assert np.array_equal(distances, reference), "simulation must stay exact"
+        outcome = run_algorithm("bfs", graph, "TX1", mode, source=0)
+        report = outcome.report
+        assert np.array_equal(outcome.result, reference), "simulation must stay exact"
         elapsed_ms = report.time_s() * 1e3
         energy_mj = report.total_energy_j() * 1e3
         if mode is SystemMode.GPU:

@@ -27,11 +27,12 @@ def main():
     for gpu in ("GTX980", "TX1"):
         baseline = None
         for mode in SystemMode:
-            distances, report, _ = run_algorithm(
+            outcome = run_algorithm(
                 "sssp", city, gpu, mode, source=depot
             )
+            report = outcome.report
             reached = ~np.isinf(reference)
-            assert np.allclose(distances[reached], reference[reached])
+            assert np.allclose(outcome.result[reached], reference[reached])
             if baseline is None:
                 baseline = report.time_s()
             print(

@@ -15,12 +15,12 @@ from repro.graph import load_dataset
 def sweep_pipeline_width(graph, gpu="TX1"):
     print(f"\nPipeline width sweep (BFS on {graph.name}, {gpu}):")
     print(f"  {'width':>5s} {'time(ms)':>9s} {'energy(mJ)':>11s} {'area(mm2)':>10s}")
-    _, base, _ = run_algorithm("bfs", graph, gpu, SystemMode.GPU)
+    base = run_algorithm("bfs", graph, gpu, SystemMode.GPU).report
     for width in (1, 2, 4, 8):
         config = SCU_CONFIGS[gpu].with_pipeline_width(width)
-        _, report, _ = run_algorithm(
+        report = run_algorithm(
             "bfs", graph, gpu, SystemMode.SCU_ENHANCED, scu_config=config
-        )
+        ).report
         print(
             f"  {width:5d} {report.time_s() * 1e3:9.3f} "
             f"{report.total_energy_j() * 1e3:11.3f} {config.area_mm2:10.2f}"
@@ -33,9 +33,9 @@ def sweep_hash_size(graph, gpu="TX1"):
     print(f"  {'scale':>6s} {'bfs hash':>10s} {'time(ms)':>9s} {'gpu instr':>10s}")
     for scale in (0.25, 0.5, 1.0, 2.0, 4.0):
         config = SCU_CONFIGS[gpu].with_hash_scale(scale)
-        _, report, _ = run_algorithm(
+        report = run_algorithm(
             "bfs", graph, gpu, SystemMode.SCU_ENHANCED, scu_config=config
-        )
+        ).report
         from repro.phases import Engine
 
         print(

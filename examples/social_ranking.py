@@ -22,9 +22,9 @@ def main():
     )
     print(f"Collaboration network: {network}")
 
-    ranks, report, _ = run_algorithm(
+    ranks = run_algorithm(
         "pagerank", network, "TX1", SystemMode.SCU_BASIC, epsilon=1e-5
-    )
+    ).result
     assert np.allclose(
         ranks, pagerank_reference(network, epsilon=1e-6), rtol=1e-2, atol=1e-3
     )
@@ -40,8 +40,8 @@ def main():
 
     print("\nSystem comparison (the paper's PR story — offload, no filtering):")
     for gpu in ("GTX980", "TX1"):
-        _, base_report, _ = run_algorithm("pagerank", network, gpu, SystemMode.GPU)
-        _, scu_report, _ = run_algorithm("pagerank", network, gpu, SystemMode.SCU_BASIC)
+        base_report = run_algorithm("pagerank", network, gpu, SystemMode.GPU).report
+        scu_report = run_algorithm("pagerank", network, gpu, SystemMode.SCU_BASIC).report
         speedup = base_report.time_s() / scu_report.time_s()
         energy = base_report.total_energy_j() / scu_report.total_energy_j()
         verdict = "gain" if speedup > 1 else "slowdown"

@@ -10,10 +10,14 @@ Public surface:
 * :mod:`repro.gpu` — the GTX 980 / Tegra X1 cost models (Tables 3-4);
 * :mod:`repro.algorithms` — BFS / SSSP / PageRank on three system
   variants, validated against exact references;
-* :mod:`repro.harness` — drivers regenerating every evaluation artifact.
+* :mod:`repro.harness` — drivers regenerating every evaluation artifact;
+* :mod:`repro.request` — the unified run API: :class:`RunRequest`
+  (canonical cache key shared by every caching layer) and
+  :class:`RunOutcome` (typed ``run_algorithm`` result);
+* :mod:`repro.serve` — the ``repro serve`` HTTP simulation service.
 """
 
-from .algorithms import SystemMode, run_algorithm
+from .algorithms import SystemMode, execute_request, run_algorithm
 from .core import ScuSystem, StreamCompactionUnit, build_system
 from .errors import (
     ConfigError,
@@ -26,6 +30,7 @@ from .errors import (
 from .graph import CsrGraph, load_dataset
 from .harness import run_all, run_experiment
 from .phases import Engine, PhaseKind, PhaseReport, RunReport
+from .request import RunOutcome, RunRequest
 
 __version__ = "1.0.0"
 
@@ -33,6 +38,9 @@ __all__ = [
     "__version__",
     "SystemMode",
     "run_algorithm",
+    "execute_request",
+    "RunRequest",
+    "RunOutcome",
     "ScuSystem",
     "StreamCompactionUnit",
     "build_system",

@@ -20,6 +20,9 @@ from .runner import (
     ALGORITHMS,
     cached_run,
     clear_run_cache,
+    execute_request,
+    get_cached_report,
+    put_cached_report,
     run_algorithm,
 )
 from .sssp import run_sssp
@@ -32,8 +35,11 @@ __all__ = [
     "run_connected_components",
     "connected_components_reference",
     "run_algorithm",
+    "execute_request",
     "cached_run",
     "clear_run_cache",
+    "get_cached_report",
+    "put_cached_report",
     "ALGORITHMS",
     "ALGORITHM_NAMES",
     "bfs_reference",

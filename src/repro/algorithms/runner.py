@@ -2,24 +2,27 @@
 
 ``run_algorithm`` builds a fresh system (GPU + optional SCU), executes
 the requested primitive, validates nothing here (tests do), and returns
-results plus the :class:`~repro.phases.RunReport` that every experiment
-consumes.  ``cached_run`` memoizes whole runs so one benchmark session
-can assemble all six figures without re-simulating.
+a :class:`~repro.request.RunOutcome` bundling the result array, the
+:class:`~repro.phases.RunReport` every experiment consumes, and the
+simulated system.  ``execute_request`` is the same entry point driven by
+a typed :class:`~repro.request.RunRequest`; ``cached_run`` memoizes
+whole runs under the request's canonical :meth:`cache_key` so one
+benchmark session (or a long-lived service) can assemble all six
+figures without re-simulating.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
-import numpy as np
-
-from ..core.api import PAPER_SCALE, ScuSystem, build_system
+from ..core.api import PAPER_SCALE, build_system
 from ..core.config import ScuConfig
 from ..errors import ExperimentError
 from ..graph.csr import CsrGraph
 from ..graph.datasets import load_dataset
 from ..obs import LruCache, Observability
 from ..phases import RunReport
+from ..request import RunOutcome, RunRequest
 from .bfs import run_bfs
 from .common import SystemMode
 from .connected_components import run_connected_components
@@ -48,7 +51,7 @@ def run_algorithm(
     memory_scale: float = PAPER_SCALE,
     obs: Observability | None = None,
     **kwargs,
-) -> tuple[np.ndarray, RunReport, ScuSystem]:
+) -> RunOutcome:
     """Run one (algorithm, graph, GPU, system-mode) combination.
 
     ``memory_scale`` defaults to :data:`~repro.core.api.PAPER_SCALE` so
@@ -56,6 +59,9 @@ def run_algorithm(
     to model the true hardware capacities.  ``obs`` injects an
     observability bundle (see :mod:`repro.obs`) through the whole stack;
     tracing is passive and leaves every simulated number unchanged.
+
+    Returns a :class:`~repro.request.RunOutcome`; unpacking it as the
+    legacy ``result, report, system`` tuple still works.
     """
     if algorithm not in ALGORITHMS:
         known = ", ".join(ALGORITHMS)
@@ -68,16 +74,48 @@ def run_algorithm(
         obs=obs,
     )
     result, report = ALGORITHMS[algorithm](graph, system, mode, **kwargs)
-    return result, report, system
+    return RunOutcome(result=result, report=report, system=system)
+
+
+def execute_request(
+    request: RunRequest, *, obs: Observability | None = None
+) -> RunOutcome:
+    """Execute one typed :class:`~repro.request.RunRequest`.
+
+    The request names a registry dataset (loaded under ``request.seed``);
+    its canonical ``kwargs`` are forwarded to :func:`run_algorithm`.
+    This is the single execution path behind the figure drivers, the
+    parallel sweep workers, and the ``repro serve`` service.
+    """
+    graph = load_dataset(request.dataset, seed=request.seed)
+    return run_algorithm(
+        request.algorithm,
+        graph,
+        request.gpu_name,
+        request.mode,
+        obs=obs,
+        **dict(request.kwargs),
+    )
 
 
 #: LRU bound of the memoized-run cache: one benchmark session sweeps
 #: 3 algorithms x 6 datasets on one GPU/mode pair at a time, so 32
 #: entries cover a full figure without letting a long-lived process
-#: (a service embedding the simulator) grow without bound.
+#: (the ``repro serve`` daemon embedding the simulator) grow without
+#: bound.
 RUN_CACHE_SIZE = 32
 
 _RUN_CACHE = LruCache(RUN_CACHE_SIZE, metrics_prefix="runner.cache")
+
+
+def get_cached_report(request: RunRequest) -> Optional[RunReport]:
+    """Look up a memoized report under the request's canonical key."""
+    return _RUN_CACHE.get(request.cache_key())
+
+
+def put_cached_report(request: RunRequest, report: RunReport) -> None:
+    """Memoize a report under the request's canonical key."""
+    _RUN_CACHE.put(request.cache_key(), report)
 
 
 def cached_run(
@@ -90,16 +128,16 @@ def cached_run(
 ) -> RunReport:
     """Memoized run on a registry dataset; returns only the report.
 
-    The cache is LRU-bounded to :data:`RUN_CACHE_SIZE` entries; hits and
-    misses (and evictions) are recorded in the process-wide metrics
-    registry under ``runner.cache.*``.
+    The cache is LRU-bounded to :data:`RUN_CACHE_SIZE` entries and keyed
+    by :meth:`RunRequest.cache_key`; hits and misses (and evictions) are
+    recorded in the process-wide metrics registry under
+    ``runner.cache.*``.
     """
-    key = (algorithm, dataset, gpu_name, mode, seed)
-    report = _RUN_CACHE.get(key)
+    request = RunRequest.make(algorithm, dataset, gpu_name, mode, seed=seed)
+    report = get_cached_report(request)
     if report is None:
-        graph = load_dataset(dataset, seed=seed)
-        _, report, _ = run_algorithm(algorithm, graph, gpu_name, mode)
-        _RUN_CACHE.put(key, report)
+        report = execute_request(request).report
+        put_cached_report(request, report)
     return report
 
 

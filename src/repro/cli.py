@@ -16,6 +16,10 @@ Commands:
   schema-versioned ``BENCH_<tag>.json`` artifact with wall-clock stats,
   simulated metrics, a metrics snapshot and the paper-fidelity
   scoreboard; ``--compare BASELINE.json`` gates on regressions;
+* ``serve``                         — long-lived HTTP simulation service
+  (``POST /run``, ``GET /healthz``, ``GET /metrics``) with bounded
+  admission, single-flight coalescing and run-cache reuse (``--port``,
+  ``--workers``, ``--queue-depth``, ``--request-timeout``, ``--isolate``);
 * ``synthesis``                     — per-component SCU area/power report;
 * ``export DIR``                    — reproduce everything and write JSON+CSV;
 * ``info``                          — show the simulated hardware configurations.
@@ -101,14 +105,14 @@ def _cmd_run(args) -> int:
             started = time.time()
             if obs is not None:
                 with obs.tracer.span(f"run.{mode.value}", "cli", system=mode.value):
-                    _, report, _ = run_algorithm(
+                    outcome = run_algorithm(
                         args.algorithm, graph, args.gpu, mode, obs=obs, **kwargs
                     )
             else:
-                _, report, _ = run_algorithm(
+                outcome = run_algorithm(
                     args.algorithm, graph, args.gpu, mode, **kwargs
                 )
-            runs.append((mode, report, time.time() - started))
+            runs.append((mode, outcome.report, time.time() - started))
     baseline = None
     for mode, report, elapsed in runs:
         if baseline is None:
@@ -135,10 +139,10 @@ def _traced_single_run(args):
         args.algorithm, "cli",
         dataset=args.dataset, gpu=args.gpu, system=mode.value,
     ):
-        _, report, _ = run_algorithm(
+        outcome = run_algorithm(
             args.algorithm, graph, args.gpu, mode, obs=obs
         )
-    return obs, report
+    return obs, outcome.report
 
 
 def _cmd_trace(args) -> int:
@@ -247,6 +251,21 @@ def _cmd_bench(args) -> int:
         return EXIT_REGRESSION
     print(f"no regression against {args.compare}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        request_timeout_s=args.request_timeout,
+        retry_after_s=args.retry_after,
+        run_isolated=args.isolate,
+    )
+    return run_service(config)
 
 
 def _cmd_synthesis(_args) -> int:
@@ -422,6 +441,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-cell progress lines",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the long-lived HTTP simulation service"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port to listen on (0 picks a free port; default 8765)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent simulation workers (default 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=8, metavar="N",
+        help="admission-queue bound; requests beyond it get a 429 with "
+        "a Retry-After hint (default 8)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline; a request past it gets a 504 "
+        "(default: none)",
+    )
+    serve_parser.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="Retry-After hint attached to 429 rejections (default 1.0)",
+    )
+    serve_parser.add_argument(
+        "--isolate", action="store_true",
+        help="simulate each request in a killable child process so the "
+        "request timeout is a hard deadline",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     commands.add_parser(
         "synthesis", help="per-component SCU area/power report"

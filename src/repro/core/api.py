@@ -84,11 +84,7 @@ def build_system(
         raise ConfigError(f"memory_scale must be positive, got {memory_scale}")
     if obs is None:
         obs = NULL_OBS
-    gpu = GpuDevice(GPU_SYSTEMS[gpu_name], obs=obs)
-    if memory_scale != 1.0:
-        gpu.hierarchy.l2_capacity_bytes = int(
-            gpu.config.l2_bytes / memory_scale
-        )
+    gpu = GpuDevice(GPU_SYSTEMS[gpu_name], obs=obs, memory_scale=memory_scale)
     ctx = DeviceContext()
     scu = None
     if with_scu:

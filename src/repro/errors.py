@@ -42,3 +42,27 @@ class ObservabilityError(ReproError):
 
 class BenchError(ReproError):
     """Raised for malformed benchmark artifacts or comparison misuse."""
+
+
+class ServiceError(ReproError):
+    """Base class for simulation-service (``repro serve``) failures."""
+
+
+class ProtocolError(ServiceError):
+    """Raised for a malformed or invalid wire-form run request."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Raised when the admission queue is full; carries ``retry_after_s``."""
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceTimeoutError(ServiceError):
+    """Raised when a request exceeds its per-request deadline."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """Raised when the service is draining and not admitting work."""

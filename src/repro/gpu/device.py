@@ -22,15 +22,25 @@ from .timing import kernel_timing
 
 @dataclass
 class GpuDevice:
-    """One GPU system (config + memory hierarchy)."""
+    """One GPU system (config + memory hierarchy).
+
+    ``memory_scale`` divides the modeled L2 capacity at construction
+    time (see :data:`~repro.core.api.PAPER_SCALE`), so the hierarchy is
+    never resized after it exists — every component observes one
+    consistent capacity for the device's whole lifetime.
+    """
 
     config: GpuConfig
     obs: Observability = NULL_OBS
+    memory_scale: float = 1.0
     hierarchy: MemoryHierarchy = field(init=False)
 
     def __post_init__(self) -> None:
+        l2_bytes = self.config.l2_bytes
+        if self.memory_scale != 1.0:
+            l2_bytes = int(self.config.l2_bytes / self.memory_scale)
         self.hierarchy = MemoryHierarchy(
-            l2_capacity_bytes=self.config.l2_bytes, dram=self.config.dram,
+            l2_capacity_bytes=l2_bytes, dram=self.config.dram,
             obs=self.obs,
         )
 

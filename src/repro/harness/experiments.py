@@ -12,13 +12,14 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from ..algorithms.common import SystemMode
-from ..algorithms.runner import ALGORITHM_NAMES, run_algorithm
+from ..algorithms.runner import ALGORITHM_NAMES, execute_request
 from ..core.config import SCU_CONFIGS
 from ..gpu.config import GPU_SYSTEMS
 from ..graph.analysis import graph_stats
 from ..graph.datasets import DATASET_NAMES, load_dataset
 from ..obs import LruCache
 from ..phases import Engine, PhaseKind, RunReport
+from ..request import RunRequest
 from ..utils import geometric_mean
 from .results import ExperimentResult
 
@@ -40,11 +41,14 @@ def experiment_key(
 ) -> Tuple:
     """Canonical cache key of one simulated grid cell.
 
-    The parallel sweep engine primes the cache under the same keys the
-    figure drivers read, so the scoreboard sweep after a parallel bench
-    is pure cache hits.
+    A thin convenience over :meth:`~repro.request.RunRequest.cache_key`
+    — the one key derivation shared with the runner's whole-run cache,
+    the parallel sweep engine, and the ``repro serve`` service.  The
+    sweep engine primes the cache under the same keys the figure
+    drivers read, so the scoreboard sweep after a parallel bench is
+    pure cache hits.
     """
-    return (algorithm, dataset, gpu_name, mode, tuple(sorted(kwargs.items())))
+    return RunRequest.make(algorithm, dataset, gpu_name, mode, **kwargs).cache_key()
 
 
 def _run(
@@ -64,13 +68,11 @@ def _run(
     metrics snapshot while priming the same memo the figure drivers
     read.
     """
-    key = experiment_key(algorithm, dataset, gpu_name, mode, **kwargs)
+    request = RunRequest.make(algorithm, dataset, gpu_name, mode, **kwargs)
+    key = request.cache_key()
     report = _MEMO.get(key)
     if report is None:
-        graph = load_dataset(dataset)
-        _, report, _ = run_algorithm(
-            algorithm, graph, gpu_name, mode, obs=obs, **kwargs
-        )
+        report = execute_request(request, obs=obs).report
         _MEMO.put(key, report)
     return report
 

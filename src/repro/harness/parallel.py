@@ -37,12 +37,13 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..algorithms.common import SystemMode
-from ..algorithms.runner import run_algorithm
+from ..algorithms.runner import execute_request
 from ..errors import ExperimentError
 from ..graph.datasets import load_dataset
 from ..obs import global_metrics, make_observability
 from ..phases import RunReport
-from .experiments import experiment_key, prime_experiment_cache
+from ..request import RunRequest
+from .experiments import prime_experiment_cache
 
 #: How long the scheduler sleeps waiting for worker results (seconds).
 _POLL_TICK_S = 0.05
@@ -54,6 +55,36 @@ _TERMINATE_GRACE_S = 2.0
 # ---------------------------------------------------------------------------
 # The generic process-pool scheduler
 # ---------------------------------------------------------------------------
+
+
+class SweepFailure(ExperimentError):
+    """A task failed in workers and the in-process fallback was disabled.
+
+    Raised by :func:`run_sweep` with ``fallback=False`` once a task's
+    retry budget is exhausted.  ``reason`` is one of ``"timeout"``,
+    ``"crashed"``, or ``"error"``; ``detail`` carries the worker's
+    formatted exception when one was reported.  Long-lived callers (the
+    ``repro serve`` service) use this to turn a killed or deadlined
+    worker into a deterministic error response instead of re-running
+    the task in-process.
+    """
+
+    def __init__(
+        self,
+        *,
+        index: int,
+        attempts: int,
+        reason: str,
+        detail: Optional[str] = None,
+    ):
+        message = f"task {index} {reason} after {attempts} attempt(s)"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.index = index
+        self.attempts = attempts
+        self.reason = reason
+        self.detail = detail
 
 
 @dataclass(frozen=True)
@@ -119,6 +150,7 @@ def run_sweep(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     progress: Optional[Callable[[SweepOutcome, int, int], None]] = None,
+    fallback: bool = True,
 ) -> List[SweepOutcome]:
     """Run ``worker`` over ``tasks``, at most ``jobs`` at a time.
 
@@ -127,7 +159,10 @@ def run_sweep(
     executes in-process with no multiprocessing involved at all.  A
     worker that crashes, errors, or exceeds ``timeout_s`` is retried up
     to ``retries`` extra times in a fresh process; after that the task
-    runs in-process, where a genuine error finally propagates.
+    runs in-process, where a genuine error finally propagates.  With
+    ``fallback=False`` the exhausted task raises :class:`SweepFailure`
+    instead — a hung task stays killed rather than being re-run without
+    a deadline (the behaviour a per-request service timeout needs).
 
     ``worker`` must be a module-level callable and each task (and each
     result) must be picklable.
@@ -186,12 +221,19 @@ def run_sweep(
             )
         )
 
-    def fail(slot: _Slot) -> None:
-        """Retry a failed slot's task, or fall back in-process."""
+    def fail(slot: _Slot, reason: str, detail: Optional[str] = None) -> None:
+        """Retry a failed slot's task, fall back in-process, or raise."""
         if slot.attempt <= retries:
             queue.append((slot.index, slot.attempt + 1))
-        else:
+        elif fallback:
             run_inline(slot.index, slot.attempt, True)
+        else:
+            raise SweepFailure(
+                index=slot.index,
+                attempts=slot.attempt,
+                reason=reason,
+                detail=detail,
+            )
 
     try:
         while queue or slots:
@@ -222,20 +264,21 @@ def run_sweep(
                             )
                         )
                     else:
-                        fail(slot)
+                        detail = payload if status == "error" else None
+                        fail(slot, "crashed" if payload is None else "error", detail)
                 elif not slot.process.is_alive():
                     # Died without sending a result (hard crash, os._exit).
                     slot.conn.close()
                     slot.process.join()
                     slots.remove(slot)
-                    fail(slot)
+                    fail(slot, "crashed")
                 elif slot.deadline_exceeded(timeout_s):
                     _stop_process(slot.process)
                     slot.conn.close()
                     slots.remove(slot)
-                    fail(slot)
+                    fail(slot, "timeout")
     finally:
-        for slot in slots:  # only non-empty when an inline fallback raised
+        for slot in slots:  # non-empty when a fallback or SweepFailure raised
             _stop_process(slot.process)
             slot.conn.close()
 
@@ -265,11 +308,15 @@ class SweepCell:
     kwargs: Tuple[Tuple[str, Any], ...] = ()
     reps: int = 0
 
-    @property
-    def key(self) -> Tuple:
-        return experiment_key(
+    def request(self) -> RunRequest:
+        """The canonical :class:`~repro.request.RunRequest` of this cell."""
+        return RunRequest.make(
             self.algorithm, self.dataset, self.gpu, self.mode, **dict(self.kwargs)
         )
+
+    @property
+    def key(self) -> Tuple:
+        return self.request().cache_key()
 
     def label(self) -> str:
         return f"{self.algorithm}/{self.dataset}/{self.gpu}/{self.mode.value}"
@@ -295,22 +342,22 @@ def simulate_cell(cell: SweepCell) -> CellPayload:
     numpy allocator pools) measured separately and excluded from the
     recorded samples.
     """
-    graph = load_dataset(cell.dataset)
-    kwargs = dict(cell.kwargs)
+    request = cell.request()
+    # Pre-warm the dataset cache so the timed repetitions measure the
+    # simulation, not graph generation (subsequent loads are dict hits).
+    load_dataset(request.dataset, seed=request.seed)
     warmup_s: Optional[float] = None
     samples: List[float] = []
     if cell.reps > 0:
         started = time.perf_counter()
-        run_algorithm(cell.algorithm, graph, cell.gpu, cell.mode, **kwargs)
+        execute_request(request)
         warmup_s = time.perf_counter() - started
         for _ in range(cell.reps):
             started = time.perf_counter()
-            run_algorithm(cell.algorithm, graph, cell.gpu, cell.mode, **kwargs)
+            execute_request(request)
             samples.append(time.perf_counter() - started)
     obs = make_observability()
-    _, report, _ = run_algorithm(
-        cell.algorithm, graph, cell.gpu, cell.mode, obs=obs, **kwargs
-    )
+    report = execute_request(request, obs=obs).report
     metrics = obs.metrics.flat_snapshot() + global_metrics().flat_snapshot()
     return CellPayload(
         report=report,

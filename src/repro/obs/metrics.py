@@ -20,6 +20,7 @@ no-op instruments, so instrumentation sites never branch.
 
 from __future__ import annotations
 
+import re
 from typing import Any, Dict, Iterable, List, Tuple
 
 import numpy as np
@@ -234,6 +235,34 @@ class MetricsRegistry:
                 out.append(entry)
         return out
 
+    def render_prometheus(self) -> str:
+        """Prometheus text-exposition dump (the ``/metrics`` endpoint).
+
+        Metric names are sanitized to the Prometheus charset (dots
+        become underscores); counters and gauges emit one sample per
+        label set, histograms emit ``_count``/``_sum``/``_min``/``_max``
+        series.  Output is deterministically ordered, like every other
+        snapshot form in this module.
+        """
+        lines: List[str] = []
+        for name, payload in self.snapshot().items():
+            base = _prometheus_name(name)
+            kind = payload["kind"]
+            if kind == "histogram":
+                lines.append(f"# TYPE {base}_count gauge")
+                for series in payload["series"]:
+                    labels = _prometheus_labels(series["labels"])
+                    for stat in ("count", "sum", "min", "max"):
+                        lines.append(
+                            f"{base}_{stat}{labels} {series[stat]!r}"
+                        )
+            else:
+                lines.append(f"# TYPE {base} {kind}")
+                for series in payload["series"]:
+                    labels = _prometheus_labels(series["labels"])
+                    lines.append(f"{base}{labels} {series['value']!r}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def render(self) -> str:
         """Human-readable dump, one line per (metric, label set)."""
         lines: List[str] = []
@@ -249,6 +278,17 @@ class MetricsRegistry:
                 else:
                     lines.append(f"{name}{labels} {series['value']:.6g}")
         return "\n".join(lines)
+
+
+def _prometheus_name(name: str) -> str:
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _prometheus_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_prometheus_name(k)}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
 
 
 class _NullCounter(Counter):

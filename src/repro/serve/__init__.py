@@ -1,0 +1,50 @@
+"""Long-lived simulation service (``repro serve``).
+
+Stdlib-only HTTP daemon over the simulator: typed
+:class:`~repro.request.RunRequest` validation, bounded admission,
+single-flight coalescing, and run-cache reuse.  See
+:mod:`repro.serve.server` for the request-path layering.
+"""
+
+from .admission import INFLIGHT_METRIC, QUEUE_DEPTH_METRIC, ServiceQueue
+from .protocol import (
+    MAX_BODY_BYTES,
+    encode,
+    error_payload,
+    parse_run_request,
+    report_payload,
+    run_response,
+)
+from .server import (
+    REQUESTS_METRIC,
+    SIMULATIONS_METRIC,
+    RequestHandler,
+    ServiceConfig,
+    ServiceServer,
+    SimulationService,
+    make_server,
+    run_service,
+)
+from .singleflight import COALESCED_METRIC, SingleFlight
+
+__all__ = [
+    "COALESCED_METRIC",
+    "INFLIGHT_METRIC",
+    "MAX_BODY_BYTES",
+    "QUEUE_DEPTH_METRIC",
+    "REQUESTS_METRIC",
+    "SIMULATIONS_METRIC",
+    "RequestHandler",
+    "ServiceConfig",
+    "ServiceQueue",
+    "ServiceServer",
+    "SimulationService",
+    "SingleFlight",
+    "encode",
+    "error_payload",
+    "make_server",
+    "parse_run_request",
+    "report_payload",
+    "run_response",
+    "run_service",
+]

@@ -1,0 +1,105 @@
+"""JSON wire protocol of the simulation service.
+
+One rule governs everything here: *identical requests produce
+byte-identical responses*.  Payloads are encoded canonically (sorted
+keys, no whitespace) and contain no timestamps, hostnames, or other
+run-to-run noise — so single-flight followers, run-cache hits, and a
+fresh in-process simulation of the same :class:`~repro.request.RunRequest`
+all serialize to the same bytes.  Tests and clients may diff responses
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError
+from ..gpu.config import GPU_SYSTEMS
+from ..phases import RunReport
+from ..request import RunRequest
+
+#: Upper bound on accepted request bodies; a RunRequest is tiny, so
+#: anything larger is a client error, not a simulation to attempt.
+MAX_BODY_BYTES = 64 * 1024
+
+
+def encode(payload: Dict[str, Any]) -> bytes:
+    """Canonical JSON bytes: sorted keys, compact separators, UTF-8."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def parse_run_request(body: bytes) -> RunRequest:
+    """Decode and validate one POST /run body into a typed request."""
+    if len(body) > MAX_BODY_BYTES:
+        raise ProtocolError(
+            f"request body too large ({len(body)} bytes > {MAX_BODY_BYTES})"
+        )
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"request body is not valid JSON: {error}") from error
+    return RunRequest.from_dict(payload)
+
+
+def _finite(value: float) -> Optional[float]:
+    """NaN-free float for canonical JSON (``allow_nan=False``)."""
+    value = float(value)
+    return None if math.isnan(value) or math.isinf(value) else value
+
+
+def report_payload(request: RunRequest, report: RunReport) -> Dict[str, Any]:
+    """JSON form of one run report: phases, memory stats, sim metrics."""
+    from ..bench.record import SimMetrics
+
+    sim = SimMetrics.from_report(
+        report, gpu_clock_hz=GPU_SYSTEMS[request.gpu_name].clock_hz
+    )
+    sim_dict = dict(sim.as_dict())
+    if sim_dict.get("compaction_fraction") is not None:
+        sim_dict["compaction_fraction"] = _finite(sim_dict["compaction_fraction"])
+    return {
+        "algorithm": report.algorithm,
+        "system": report.system,
+        "dataset": report.dataset,
+        "static_energy_j": float(report.static_energy_j),
+        "phases": [
+            {
+                "name": phase.name,
+                "engine": phase.engine.value,
+                "kind": phase.kind.value,
+                "elements": int(phase.elements),
+                "instructions": int(phase.instructions),
+                "time_s": float(phase.time_s),
+                "dynamic_energy_j": float(phase.dynamic_energy_j),
+                "memory": {
+                    "accesses": int(phase.memory.accesses),
+                    "transactions": int(phase.memory.transactions),
+                    "l2_hits": int(phase.memory.l2_hits),
+                    "dram_accesses": int(phase.memory.dram_accesses),
+                    "dram_bytes": int(phase.memory.dram_bytes),
+                    "row_hit_fraction": float(phase.memory.row_hit_fraction),
+                },
+            }
+            for phase in report.phases
+        ],
+        "sim": sim_dict,
+    }
+
+
+def run_response(request: RunRequest, report: RunReport) -> Dict[str, Any]:
+    """The full POST /run response body (pre-encoding)."""
+    return {
+        "request": request.to_dict(),
+        "report": report_payload(request, report),
+    }
+
+
+def error_payload(status: int, error: str, message: str, **extra: Any) -> Dict[str, Any]:
+    """Deterministic error body shared by every failure path."""
+    payload: Dict[str, Any] = {"status": status, "error": error, "message": message}
+    payload.update(extra)
+    return payload

@@ -1,0 +1,324 @@
+"""The ``repro serve`` daemon: HTTP front-end over the simulator.
+
+Stdlib-only: a :class:`ThreadingHTTPServer` accepts JSON run requests,
+validates them into typed :class:`~repro.request.RunRequest` objects,
+and executes them on a bounded worker pool.  The request path layers
+three protections, outermost first:
+
+1. **single-flight** — concurrent identical requests coalesce onto one
+   leader; followers share its report (`serve.singleflight.coalesced_hits`);
+2. **admission control** — at most ``queue_depth`` requests wait for the
+   ``workers``-wide pool; overflow is a deterministic 429 + Retry-After;
+3. **run cache** — completed reports land in the process-wide LRU run
+   cache, so repeats after the burst never reach the queue at all.
+
+``--isolate`` additionally pushes each simulation into a fork-spawned
+child via :func:`~repro.harness.parallel.run_sweep` with
+``fallback=False``, so a per-request timeout genuinely kills the work
+instead of abandoning a thread.
+
+Routes: ``POST /run``, ``GET /healthz``, ``GET /metrics`` (Prometheus
+text format, service + process-global registries).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import (
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+)
+from ..harness.parallel import SweepFailure, run_sweep
+from ..obs.metrics import MetricsRegistry, global_metrics
+from ..phases import RunReport
+from ..request import RunRequest
+from .admission import ServiceQueue
+from .protocol import (
+    MAX_BODY_BYTES,
+    encode,
+    error_payload,
+    parse_run_request,
+    run_response,
+)
+from .singleflight import SingleFlight
+
+REQUESTS_METRIC = "serve.requests"
+SIMULATIONS_METRIC = "serve.simulations"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    workers: int = 2
+    queue_depth: int = 8
+    request_timeout_s: Optional[float] = None
+    retry_after_s: float = 1.0
+    run_isolated: bool = False
+    drain_timeout_s: float = 30.0
+
+
+def _isolated_run(request: RunRequest) -> RunReport:
+    """Sweep worker: simulate one request in a child process."""
+    from ..algorithms.runner import execute_request
+
+    return execute_request(request).report
+
+
+class SimulationService:
+    """Request execution core; the HTTP handler is a thin shell over it."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.registry = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._singleflight = SingleFlight(registry=self.registry)
+        self._queue = ServiceQueue(
+            workers=self.config.workers,
+            queue_depth=self.config.queue_depth,
+            registry=self.registry,
+            retry_after_s=self.config.retry_after_s,
+        )
+        self._draining = False
+
+    # -- metrics (the registry's instruments are not thread-safe) -------
+    def _count(self, name: str, **labels: Any) -> None:
+        with self._metrics_lock:
+            self.registry.counter(name).inc(**labels)
+
+    # -- request path ---------------------------------------------------
+    def handle_run(self, request: RunRequest) -> Dict[str, Any]:
+        """Execute (or coalesce, or reject) one validated run request."""
+        from ..algorithms.runner import get_cached_report
+
+        if self._draining:
+            raise ServiceUnavailableError("service is draining; not accepting work")
+        self._count(REQUESTS_METRIC, route="run")
+        report = get_cached_report(request)
+        if report is None:
+            timeout_s = self.config.request_timeout_s
+            report = self._singleflight.do(
+                request.cache_key(),
+                lambda: self._queue.run(
+                    lambda: self._simulate(request), timeout_s=timeout_s
+                ),
+                timeout_s=timeout_s,
+            )
+        return run_response(request, report)
+
+    def _simulate(self, request: RunRequest) -> RunReport:
+        """Worker-side execution of one admitted request."""
+        from ..algorithms.runner import (
+            execute_request,
+            get_cached_report,
+            put_cached_report,
+        )
+
+        # A previous leader may have finished between the handler's cache
+        # probe and this task reaching a worker.
+        report = get_cached_report(request)
+        if report is not None:
+            return report
+        self._count(SIMULATIONS_METRIC)
+        if self.config.run_isolated:
+            report = self._simulate_isolated(request)
+        else:
+            report = execute_request(request).report
+        put_cached_report(request, report)
+        return report
+
+    def _simulate_isolated(self, request: RunRequest) -> RunReport:
+        """Run in a killable child process (hard per-request timeout)."""
+        try:
+            outcomes = run_sweep(
+                [request],
+                _isolated_run,
+                jobs=2,  # >1 forces process isolation even for one task
+                timeout_s=self.config.request_timeout_s,
+                retries=0,
+                fallback=False,
+            )
+        except SweepFailure as failure:
+            if failure.reason == "timeout":
+                raise ServiceTimeoutError(
+                    f"isolated simulation exceeded "
+                    f"{self.config.request_timeout_s}s"
+                ) from failure
+            raise ServiceError(f"isolated simulation failed: {failure}") from failure
+        return outcomes[0].value
+
+    # -- introspection / lifecycle --------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "workers": self.config.workers,
+            "queue_depth": self._queue.depth,
+            "queue_capacity": self.config.queue_depth,
+            "inflight": self._queue.inflight,
+        }
+
+    def metrics_text(self) -> str:
+        with self._metrics_lock:
+            service = self.registry.render_prometheus()
+        return service + global_metrics().render_prometheus()
+
+    def drain(self, *, timeout_s: Optional[float] = None) -> bool:
+        """Refuse new work, then wait for queued + in-flight requests."""
+        self._draining = True
+        if timeout_s is None:
+            timeout_s = self.config.drain_timeout_s
+        return self._queue.drain(timeout_s=timeout_s)
+
+
+#: (exception class -> HTTP status, stable error code); checked in order.
+_ERROR_MAP: Tuple[Tuple[type, int, str], ...] = (
+    (ProtocolError, 400, "bad-request"),
+    (ServiceOverloadError, 429, "overloaded"),
+    (ServiceUnavailableError, 503, "draining"),
+    (ServiceTimeoutError, 504, "timeout"),
+)
+
+
+class RequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs to the :class:`SimulationService` on the server."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    sys_version = ""
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging is the metrics registry's job
+
+    # -- response plumbing ---------------------------------------------
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        *,
+        content_type: str = "application/json",
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, error: BaseException) -> None:
+        for cls, status, code in _ERROR_MAP:
+            if isinstance(error, cls):
+                break
+        else:
+            status, code = 500, "internal"
+        extra: Tuple[Tuple[str, str], ...] = ()
+        payload = error_payload(status, code, str(error))
+        if isinstance(error, ServiceOverloadError):
+            payload["retry_after_s"] = error.retry_after_s
+            extra = (("Retry-After", f"{error.retry_after_s:g}"),)
+        self._send(status, encode(payload), extra_headers=extra)
+
+    def _not_found(self) -> None:
+        self._send(
+            404,
+            encode(error_payload(404, "not-found", f"no route {self.path!r}")),
+        )
+
+    # -- verbs ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        if self.path == "/healthz":
+            self._send(200, encode(self.service.health()))
+        elif self.path == "/metrics":
+            body = self.service.metrics_text().encode("utf-8")
+            self._send(200, body, content_type="text/plain; charset=utf-8")
+        else:
+            self._not_found()
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        if self.path != "/run":
+            self._not_found()
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            if length > MAX_BODY_BYTES:
+                raise ProtocolError(
+                    f"request body too large ({length} bytes > {MAX_BODY_BYTES})"
+                )
+            request = parse_run_request(self.rfile.read(length))
+            response = self.service.handle_run(request)
+        except (ReproError, ValueError) as error:
+            self._send_error(error)
+            return
+        self._send(200, encode(response))
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the service for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: SimulationService):
+        super().__init__(address, RequestHandler)
+        self.service = service
+
+
+def make_server(
+    service: SimulationService, *, host: str | None = None, port: int | None = None
+) -> ServiceServer:
+    """Bind the HTTP server for ``service`` (port 0 picks a free port)."""
+    if host is None:
+        host = service.config.host
+    if port is None:
+        port = service.config.port
+    return ServiceServer((host, port), service)
+
+
+def run_service(config: ServiceConfig) -> int:
+    """Foreground entry point for ``repro serve``; blocks until signalled.
+
+    SIGTERM/SIGINT stop accepting connections, then drain queued and
+    in-flight work before returning (0 on a clean drain, 1 otherwise).
+    """
+    service = SimulationService(config)
+    httpd = make_server(service)
+
+    def _shutdown(signum: int, frame: Any) -> None:
+        # shutdown() must not run on the serve_forever thread (deadlock);
+        # signal handlers execute on the main thread, which IS that
+        # thread here, so hand the call to a helper.
+        service._draining = True
+        threading.Thread(target=httpd.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _shutdown) for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        host, port = httpd.server_address[:2]
+        print(f"repro serve listening on http://{host}:{port}", flush=True)
+        httpd.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        httpd.server_close()
+    drained = service.drain()
+    print(
+        "repro serve drained cleanly" if drained else "repro serve drain timed out",
+        flush=True,
+    )
+    return 0 if drained else 1

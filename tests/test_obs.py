@@ -34,6 +34,7 @@ from repro.obs import (
     wall_profile,
 )
 from repro.phases import RunReport
+from repro.request import RunRequest
 
 
 class FakeClock:
@@ -390,14 +391,16 @@ class TestRunCacheLru:
 
     def test_cache_evicts_oldest_beyond_bound(self):
         clear_run_cache()
-        # fill past the bound with fake entries; real keys are 5-tuples
+        # fill past the bound with fake entries shaped like real keys
+        # (RunRequest.cache_key 6-tuples)
         for i in range(RUN_CACHE_SIZE):
-            _RUN_CACHE[("fake", i, "TX1", SystemMode.GPU, 42)] = object()
+            _RUN_CACHE[("fake", i, "TX1", SystemMode.GPU, 42, ())] = object()
         cached_run("bfs", "human", "TX1", SystemMode.GPU)
         assert len(_RUN_CACHE) == RUN_CACHE_SIZE
         # the oldest fake entry was evicted, the real run is resident
-        assert ("fake", 0, "TX1", SystemMode.GPU, 42) not in _RUN_CACHE
-        assert ("bfs", "human", "TX1", SystemMode.GPU, 42) in _RUN_CACHE
+        assert ("fake", 0, "TX1", SystemMode.GPU, 42, ()) not in _RUN_CACHE
+        real_key = RunRequest.make("bfs", "human", "TX1", SystemMode.GPU).cache_key()
+        assert real_key in _RUN_CACHE
         clear_run_cache()
 
 

@@ -23,6 +23,7 @@ from repro.harness import (
 )
 from repro.harness.parallel import (
     SweepCell,
+    SweepFailure,
     run_sweep,
     simulate_cell,
     sweep_cells,
@@ -126,6 +127,32 @@ class TestRunSweep:
 
     def test_empty_task_list(self):
         assert run_sweep([], square, jobs=4) == []
+
+    def test_no_fallback_timeout_raises_sweep_failure(self):
+        task = (os.getpid(), 11)
+        started = time.perf_counter()
+        with pytest.raises(SweepFailure) as excinfo:
+            run_sweep(
+                [task], hangs_in_workers, jobs=2,
+                timeout_s=0.5, retries=0, fallback=False,
+            )
+        elapsed = time.perf_counter() - started
+        assert excinfo.value.reason == "timeout"
+        assert excinfo.value.attempts == 1
+        assert elapsed < 30.0  # hung worker was killed, never re-run inline
+
+    def test_no_fallback_error_raises_sweep_failure_with_detail(self):
+        with pytest.raises(SweepFailure) as excinfo:
+            run_sweep([1], always_raises, jobs=2, retries=0, fallback=False)
+        assert excinfo.value.reason == "error"
+        assert "bad task" in str(excinfo.value)
+
+    def test_no_fallback_crash_raises_sweep_failure(self):
+        task = (os.getpid(), 7)
+        with pytest.raises(SweepFailure) as excinfo:
+            run_sweep([task], dies_in_workers, jobs=2, retries=1, fallback=False)
+        assert excinfo.value.reason == "crashed"
+        assert excinfo.value.attempts == 2  # initial attempt + one retry
 
 
 # The smallest real simulation cell: BFS on the smallest dataset.

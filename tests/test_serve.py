@@ -1,0 +1,477 @@
+"""Tests for the simulation service (repro.serve).
+
+Unit-level: single-flight coalescing and the bounded admission queue.
+Integration-level: the HTTP surface end to end — the A/B contract that
+a served report is byte-identical to an in-process run, the acceptance
+scenario that eight concurrent identical cold requests simulate exactly
+once, deterministic overflow/timeout/validation failures, and
+drain-on-shutdown.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.algorithms import clear_run_cache, execute_request
+from repro.algorithms.common import SystemMode
+from repro.errors import (
+    ServiceOverloadError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+)
+from repro.obs import MetricsRegistry
+from repro.request import RunRequest
+from repro.serve import (
+    COALESCED_METRIC,
+    SIMULATIONS_METRIC,
+    ServiceConfig,
+    ServiceQueue,
+    SimulationService,
+    SingleFlight,
+    encode,
+    make_server,
+    run_response,
+)
+
+REQUEST_BODY = json.dumps(
+    {"algorithm": "bfs", "dataset": "human", "gpu": "TX1", "mode": "scu-enhanced"}
+).encode()
+
+
+# ---------------------------------------------------------------------------
+# SingleFlight
+# ---------------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_single_caller_executes(self):
+        flight = SingleFlight()
+        assert flight.do("k", lambda: 41 + 1) == 42
+
+    def test_concurrent_identical_keys_execute_once(self):
+        flight = SingleFlight(registry=MetricsRegistry())
+        release = threading.Event()
+        calls = []
+
+        def work():
+            calls.append(None)
+            release.wait(10.0)
+            return "report"
+
+        results = [None] * 4
+
+        def runner(i):
+            results[i] = flight.do("k", work)
+
+        threads = [threading.Thread(target=runner, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        # wait for the followers to attach, then let the leader finish
+        deadline = time.time() + 10.0
+        while flight.waiters("k") < 3 and time.time() < deadline:
+            time.sleep(0.01)
+        assert flight.waiters("k") == 3
+        release.set()
+        for t in threads:
+            t.join(10.0)
+        assert len(calls) == 1
+        assert results == ["report"] * 4
+        assert flight._registry.counter(COALESCED_METRIC).total() == 3
+
+    def test_distinct_keys_do_not_coalesce(self):
+        flight = SingleFlight()
+        assert flight.do("a", lambda: 1) == 1
+        assert flight.do("b", lambda: 2) == 2
+        assert flight.waiters("a") == 0
+
+    def test_leader_exception_is_shared(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        errors = []
+
+        def work():
+            release.wait(10.0)
+            raise ValueError("boom")
+
+        def leader():
+            try:
+                flight.do("k", work)
+            except ValueError as error:
+                errors.append(error)
+
+        def follower():
+            try:
+                flight.do("k", work, timeout_s=10.0)
+            except ValueError as error:
+                errors.append(error)
+
+        t1 = threading.Thread(target=leader)
+        t1.start()
+        while flight._calls.get("k") is None:
+            time.sleep(0.01)
+        t2 = threading.Thread(target=follower)
+        t2.start()
+        while flight.waiters("k") < 1:
+            time.sleep(0.01)
+        release.set()
+        t1.join(10.0)
+        t2.join(10.0)
+        assert len(errors) == 2
+        assert all(str(e) == "boom" for e in errors)
+
+    def test_follower_timeout(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        leader = threading.Thread(
+            target=lambda: flight.do("k", lambda: release.wait(10.0))
+        )
+        leader.start()
+        while flight._calls.get("k") is None:
+            time.sleep(0.01)
+        with pytest.raises(ServiceTimeoutError):
+            flight.do("k", lambda: None, timeout_s=0.05)
+        release.set()
+        leader.join(10.0)
+
+
+# ---------------------------------------------------------------------------
+# ServiceQueue
+# ---------------------------------------------------------------------------
+
+
+class TestServiceQueue:
+    def test_run_returns_result(self):
+        queue = ServiceQueue(workers=1, queue_depth=2)
+        assert queue.run(lambda: 7) == 7
+        assert queue.drain(timeout_s=5.0)
+
+    def test_worker_exception_propagates(self):
+        queue = ServiceQueue(workers=1, queue_depth=2)
+        with pytest.raises(ValueError, match="boom"):
+            queue.run(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        queue.drain(timeout_s=5.0)
+
+    def test_overflow_rejects_deterministically(self):
+        queue = ServiceQueue(workers=1, queue_depth=1, retry_after_s=2.5)
+        release = threading.Event()
+        queue.submit(lambda: release.wait(10.0))  # occupies the worker
+        deadline = time.time() + 10.0
+        while queue.inflight < 1 and time.time() < deadline:
+            time.sleep(0.01)
+        queue.submit(lambda: None)  # fills the single queue slot
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            queue.submit(lambda: None)
+        assert excinfo.value.retry_after_s == 2.5
+        assert "admission queue full (1 waiting)" in str(excinfo.value)
+        release.set()
+        assert queue.drain(timeout_s=10.0)
+
+    def test_run_timeout(self):
+        queue = ServiceQueue(workers=1, queue_depth=2)
+        release = threading.Event()
+        with pytest.raises(ServiceTimeoutError):
+            queue.run(lambda: release.wait(10.0), timeout_s=0.05)
+        release.set()
+        assert queue.drain(timeout_s=10.0)
+
+    def test_drain_refuses_new_work_and_finishes_old(self):
+        queue = ServiceQueue(workers=1, queue_depth=4)
+        release = threading.Event()
+        done = []
+        queue.submit(lambda: (release.wait(10.0), done.append(1)))
+        drained = []
+        drainer = threading.Thread(
+            target=lambda: drained.append(queue.drain(timeout_s=10.0))
+        )
+        drainer.start()
+        time.sleep(0.05)
+        with pytest.raises(ServiceUnavailableError):
+            queue.submit(lambda: None)
+        release.set()
+        drainer.join(10.0)
+        assert drained == [True]
+        assert done == [1]
+
+    def test_drain_timeout_returns_false(self):
+        queue = ServiceQueue(workers=1, queue_depth=2)
+        release = threading.Event()
+        queue.submit(lambda: release.wait(10.0))
+        assert queue.drain(timeout_s=0.05) is False
+        release.set()
+
+    def test_gauges_track_depth_and_inflight(self):
+        registry = MetricsRegistry()
+        queue = ServiceQueue(workers=1, queue_depth=4, registry=registry)
+        queue.run(lambda: None)
+        assert registry.gauge("serve.queue.depth").value() == 0.0
+        assert registry.gauge("serve.inflight").value() == 0.0
+        queue.drain(timeout_s=5.0)
+
+
+# ---------------------------------------------------------------------------
+# HTTP integration
+# ---------------------------------------------------------------------------
+
+
+class GatedService(SimulationService):
+    """Service whose simulations block until the test releases them."""
+
+    def __init__(self, config=None):
+        super().__init__(config)
+        self.release = threading.Event()
+
+    def _simulate(self, request):
+        self.release.wait(30.0)
+        return super()._simulate(request)
+
+
+class CoalescingGatedService(SimulationService):
+    """First simulation waits for ``expected`` coalesced followers.
+
+    This makes the eight-concurrent-requests acceptance test
+    deterministic: the leader's simulation cannot finish before the
+    other seven requests have attached to it, so no request can ever
+    slip through on the run-cache fast path instead of coalescing.
+    """
+
+    expected = 7
+
+    def _simulate(self, request):
+        deadline = time.time() + 30.0
+        while time.time() < deadline:
+            if self.registry.counter(COALESCED_METRIC).total() >= self.expected:
+                break
+            time.sleep(0.005)
+        return super()._simulate(request)
+
+
+def _post(base, body, timeout=60.0):
+    request = urllib.request.Request(
+        base + "/run", data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+def _start(service):
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    return httpd, f"http://{host}:{port}"
+
+
+@pytest.fixture
+def served():
+    """A running service on a free port, torn down afterwards."""
+    clear_run_cache()
+    service = SimulationService(ServiceConfig(port=0))
+    httpd, base = _start(service)
+    yield service, base
+    httpd.shutdown()
+    httpd.server_close()
+    service.drain(timeout_s=10.0)
+    clear_run_cache()
+
+
+class TestHttpService:
+    def test_served_report_matches_in_process_run(self, served):
+        service, base = served
+        status, body = _post(base, REQUEST_BODY)
+        assert status == 200
+        request = RunRequest.make("bfs", "human", "TX1", "scu-enhanced")
+        local = execute_request(request).report
+        assert body == encode(run_response(request, local))
+
+    def test_repeat_request_is_a_cache_hit(self, served):
+        service, base = served
+        _, first = _post(base, REQUEST_BODY)
+        _, second = _post(base, REQUEST_BODY)
+        assert first == second
+        assert service.registry.counter(SIMULATIONS_METRIC).total() == 1
+
+    def test_healthz(self, served):
+        _, base = served
+        with urllib.request.urlopen(base + "/healthz", timeout=10.0) as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "ok"
+        assert payload["workers"] == 2
+        assert payload["queue_capacity"] == 8
+
+    def test_metrics_exposition(self, served):
+        _, base = served
+        _post(base, REQUEST_BODY)
+        with urllib.request.urlopen(base + "/metrics", timeout=10.0) as response:
+            text = response.read().decode()
+        lines = text.splitlines()
+        assert 'serve_requests{route="run"} 1.0' in lines
+        assert "serve_simulations 1.0" in lines
+        assert "# TYPE serve_simulations counter" in lines
+        assert any(line.startswith("runner_cache") for line in lines)
+
+    def test_unknown_route_is_404(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(base + "/nope", timeout=10.0)
+        assert excinfo.value.code == 404
+
+    def test_invalid_request_is_400(self, served):
+        _, base = served
+        bad = json.dumps({"algorithm": "zork"}).encode()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, bad)
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"] == "bad-request"
+
+    def test_malformed_json_is_400(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, b"{not json")
+        assert excinfo.value.code == 400
+
+
+class TestCoalescing:
+    def test_eight_concurrent_identical_requests_simulate_once(self):
+        """The acceptance scenario: 8 cold identical requests -> 1 sim."""
+        clear_run_cache()
+        service = CoalescingGatedService(ServiceConfig(port=0))
+        httpd, base = _start(service)
+        try:
+            results = [None] * 8
+            errors = []
+
+            def worker(i):
+                try:
+                    results[i] = _post(base, REQUEST_BODY)
+                except Exception as error:  # pragma: no cover - diagnostics
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60.0)
+            assert not errors
+            statuses = {status for status, _ in results}
+            bodies = {body for _, body in results}
+            assert statuses == {200}
+            assert len(bodies) == 1  # byte-identical payloads
+            assert service.registry.counter(SIMULATIONS_METRIC).total() == 1
+            assert service.registry.counter(COALESCED_METRIC).total() == 7
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
+            clear_run_cache()
+
+
+class TestOverloadAndTimeout:
+    def _distinct_body(self, dataset):
+        return json.dumps(
+            {"algorithm": "bfs", "dataset": dataset, "gpu": "TX1", "mode": "gpu"}
+        ).encode()
+
+    def test_queue_overflow_is_a_deterministic_429(self):
+        clear_run_cache()
+        service = GatedService(
+            ServiceConfig(port=0, workers=1, queue_depth=1, retry_after_s=3.0)
+        )
+        httpd, base = _start(service)
+        try:
+            # Fill the worker, then the one queue slot — sequenced, because
+            # a submitted task counts against the admission bound until a
+            # worker picks it up, so firing both at once can 429 the second.
+            background = []
+
+            def _occupy(dataset, predicate):
+                thread = threading.Thread(
+                    target=lambda: _post(base, self._distinct_body(dataset))
+                )
+                thread.start()
+                background.append(thread)
+                deadline = time.time() + 10.0
+                while not predicate() and time.time() < deadline:
+                    time.sleep(0.01)
+                assert predicate()
+
+            _occupy("human", lambda: service._queue.inflight == 1)
+            _occupy("delaunay", lambda: service._queue.depth == 1)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base, self._distinct_body("kron"))
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers["Retry-After"] == "3"
+            payload = json.loads(excinfo.value.read())
+            assert payload == {
+                "error": "overloaded",
+                "message": "admission queue full (1 waiting)",
+                "retry_after_s": 3.0,
+                "status": 429,
+            }
+            service.release.set()
+            for thread in background:
+                thread.join(60.0)
+        finally:
+            service.release.set()
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
+            clear_run_cache()
+
+    def test_slow_request_is_a_504(self):
+        clear_run_cache()
+        service = GatedService(ServiceConfig(port=0, request_timeout_s=0.2))
+        httpd, base = _start(service)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base, REQUEST_BODY)
+            assert excinfo.value.code == 504
+            assert json.loads(excinfo.value.read())["error"] == "timeout"
+        finally:
+            service.release.set()
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
+            clear_run_cache()
+
+
+class TestDrain:
+    def test_draining_service_rejects_new_work_and_finishes_old(self):
+        clear_run_cache()
+        service = GatedService(ServiceConfig(port=0))
+        httpd, base = _start(service)
+        try:
+            results = []
+            worker = threading.Thread(
+                target=lambda: results.append(_post(base, REQUEST_BODY))
+            )
+            worker.start()
+            deadline = time.time() + 10.0
+            while service._queue.inflight < 1 and time.time() < deadline:
+                time.sleep(0.01)
+            drained = []
+            drainer = threading.Thread(
+                target=lambda: drained.append(service.drain(timeout_s=30.0))
+            )
+            drainer.start()
+            time.sleep(0.05)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base, REQUEST_BODY)
+            assert excinfo.value.code == 503
+            assert service.health()["status"] == "draining"
+            service.release.set()
+            drainer.join(30.0)
+            worker.join(30.0)
+            assert drained == [True]
+            assert [status for status, _ in results] == [200]
+        finally:
+            service.release.set()
+            httpd.shutdown()
+            httpd.server_close()
+            clear_run_cache()
