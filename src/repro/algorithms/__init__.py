@@ -10,6 +10,7 @@ from .common import (
     warp_cull,
 )
 from .connected_components import (
+    connected_components_labels,
     connected_components_reference,
     run_connected_components,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "run_sssp",
     "run_pagerank",
     "run_connected_components",
+    "connected_components_labels",
     "connected_components_reference",
     "run_algorithm",
     "execute_request",

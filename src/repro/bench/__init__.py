@@ -15,6 +15,17 @@ from .compare import (
     compare_artifacts,
     compare_records,
 )
+from .micro import (
+    DEFAULT_MICRO_REPS,
+    DRAM_TRACE_LEN,
+    MICRO_KERNEL_NAMES,
+    MICRO_KERNELS,
+    MICRO_SCHEMA_VERSION,
+    MicroArtifact,
+    MicroRecord,
+    compare_micro_artifacts,
+    run_micro,
+)
 from .record import (
     SCHEMA_VERSION,
     SIM_METRIC_NAMES,
@@ -59,6 +70,15 @@ __all__ = [
     "Finding",
     "compare_artifacts",
     "compare_records",
+    "MICRO_SCHEMA_VERSION",
+    "MICRO_KERNELS",
+    "MICRO_KERNEL_NAMES",
+    "MicroArtifact",
+    "MicroRecord",
+    "DEFAULT_MICRO_REPS",
+    "DRAM_TRACE_LEN",
+    "run_micro",
+    "compare_micro_artifacts",
     "build_scoreboard",
     "evaluate_expectations",
     "run_scoreboard_experiments",

@@ -16,6 +16,8 @@ Commands:
   schema-versioned ``BENCH_<tag>.json`` artifact with wall-clock stats,
   simulated metrics, a metrics snapshot and the paper-fidelity
   scoreboard; ``--compare BASELINE.json`` gates on regressions;
+  ``--micro`` swaps the grid for the kernel-level microbenchmark
+  suite (``BENCH_micro_<tag>.json``, same compare gating);
 * ``serve``                         — long-lived HTTP simulation service
   (``POST /run``, ``GET /healthz``, ``GET /metrics``) with bounded
   admission, single-flight coalescing and run-cache reuse (``--port``,
@@ -192,6 +194,45 @@ def _cmd_reproduce(args) -> int:
 EXIT_REGRESSION = 2
 
 
+def _cmd_bench_micro(args) -> int:
+    from .bench import (
+        MicroArtifact,
+        compare_micro_artifacts,
+        run_micro,
+        short_git_sha,
+    )
+
+    tag = args.tag or short_git_sha()
+    progress = None if args.no_progress else (lambda line: print(line))
+    print(f"micro kernels ({'quick' if args.quick else 'full'}, reps={args.reps}):")
+    artifact = run_micro(
+        quick=args.quick, reps=args.reps, tag=tag, progress=progress
+    )
+    out_path = args.out or f"BENCH_micro_{tag}.json"
+    artifact.save(out_path)
+    print(f"artifact written to {out_path} ({len(artifact.records)} kernels)")
+    if args.compare is None:
+        return 0
+    baseline = MicroArtifact.load(args.compare)
+    report = compare_micro_artifacts(
+        baseline,
+        artifact,
+        sim_rtol=args.sim_tolerance,
+        wall_tolerance_pct=args.wall_tolerance,
+    )
+    print()
+    print(render_table(report.table()))
+    if not report.ok:
+        print(
+            f"REGRESSION against {args.compare}: "
+            f"{len(report.regressions)} finding(s)",
+            file=sys.stderr,
+        )
+        return EXIT_REGRESSION
+    print(f"no regression against {args.compare}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .bench import (
         BenchArtifact,
@@ -203,6 +244,8 @@ def _cmd_bench(args) -> int:
     )
     from .harness import clear_experiment_cache
 
+    if args.micro:
+        return _cmd_bench_micro(args)
     # Each bench run measures from a cold experiment cache so repeated
     # in-process invocations (--compare loops, tests) stay comparable.
     clear_experiment_cache()
@@ -377,7 +420,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--quick", action="store_true",
-        help="sweep the three-dataset quick grid instead of all six",
+        help="sweep the three-dataset quick grid instead of all six "
+        "(with --micro: smaller kernel inputs, DRAM trace stays 100k)",
+    )
+    bench_parser.add_argument(
+        "--micro", action="store_true",
+        help="run the kernel-level microbenchmark suite instead of the "
+        "grid; writes BENCH_micro_<tag>.json and supports the same "
+        "--compare regression gate",
     )
     bench_parser.add_argument(
         "--algorithms", nargs="+", choices=("bfs", "sssp", "pagerank"),

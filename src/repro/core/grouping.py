@@ -90,8 +90,18 @@ def group_order(
         n + slots_sorted[first_of_group],
     )
 
-    output_rank = np.lexsort((order, eviction_key[group_id]))
-    perm = order[output_rank]
+    # Eviction keys are distinct (stream positions for evicted groups,
+    # n + slot for the one survivor per slot) and elements of a group are
+    # a contiguous run of the slot-sorted array already in stream order,
+    # so sorting the *groups* and gathering their ragged segments is
+    # equivalent to a full lexsort over all n elements.
+    group_rank = np.argsort(eviction_key, kind="stable")
+    sizes = next_first - first_of_group
+    sorted_sizes = sizes[group_rank]
+    segment_id = np.repeat(np.arange(group_rank.size, dtype=np.int64), sorted_sizes)
+    out_start = np.cumsum(sorted_sizes) - sorted_sizes
+    within = indices - out_start[segment_id]
+    perm = order[first_of_group[group_rank][segment_id] + within]
     if obs.enabled:
         sizes = np.diff(np.append(first_of_group, n))
         obs.metrics.histogram("scu.group.size").observe_many(sizes, table=table.name)

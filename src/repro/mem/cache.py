@@ -90,15 +90,18 @@ class SetAssociativeCache:
     def access_lines(self, line_ids: np.ndarray) -> int:
         """Access a sequence of line ids; returns the number of hits.
 
-        Batched equivalent of calling :meth:`access_line` per element.
-        Accesses to different sets are independent (LRU state is per
-        set; ages only need each set's relative access order), so the
-        stream is grouped by set index in one vectorized pass and each
-        set's subsequence is replayed with O(1)-per-access ordered-dict
-        bookkeeping — instead of the per-access numpy tag scans of the
-        scalar path.  Hit/miss/eviction counts, resulting residency,
-        and ages are identical to the scalar path (ages are assigned
-        from the access's global stream position).
+        Batched equivalent of calling :meth:`access_line` per element —
+        byte-identical tags, ages, way placement, and stats (pinned by
+        :meth:`access_lines_reference` equivalence tests).  Accesses to
+        different sets are independent, so the stream is replayed as a
+        time-stepped matrix sweep: group accesses by set (stable
+        argsort), then at step ``t`` process every set's ``t``-th access
+        at once — tag compare, first-matching-way hit resolution
+        (``argmax`` over booleans), and first-minimum-age victim choice
+        (``argmin``) are all whole-array operations over the active
+        sets.  Each set appears at most once per step, so the scattered
+        updates never collide.  Total work is O(n·ways) element ops
+        instead of n Python-level iterations.
         """
         lines = np.asarray(line_ids, dtype=np.int64).ravel()
         n = int(lines.size)
@@ -107,38 +110,37 @@ class SetAssociativeCache:
         base_clock = self._clock
         set_ids = lines & (self.num_sets - 1)
         hits = misses = evictions = 0
-        # Stable sort groups same-set accesses while preserving each
-        # set's internal order (the order LRU depends on).
+        # Stable sort groups same-set accesses preserving stream order,
+        # then within-set ranks split the stream into time steps.
         order = np.argsort(set_ids, kind="stable")
-        boundaries = np.nonzero(np.diff(set_ids[order]))[0] + 1
-        for chunk in np.split(order, boundaries):
-            set_idx = int(set_ids[chunk[0]])
-            # Rebuild this set's state as {line: age}, oldest first.
-            row_tags = self._tags[set_idx]
-            row_ages = self._ages[set_idx]
-            resident = sorted(
-                (int(a), int(t)) for t, a in zip(row_tags, row_ages) if t != -1
+        sorted_sets = set_ids[order]
+        indices = np.arange(n, dtype=np.int64)
+        new_segment = np.ones(n, dtype=bool)
+        new_segment[1:] = sorted_sets[1:] != sorted_sets[:-1]
+        segment_start = np.maximum.accumulate(np.where(new_segment, indices, 0))
+        rank = indices - segment_start
+        step_order = np.argsort(rank, kind="stable")
+        step_boundaries = np.nonzero(np.diff(rank[step_order]))[0] + 1
+        for group in np.split(step_order, step_boundaries):
+            rows = sorted_sets[group]  # distinct sets: one access each
+            positions = order[group]
+            line = lines[positions]
+            tag_rows = self._tags[rows]
+            match = tag_rows == line[:, None]
+            is_hit = match.any(axis=1)
+            way = np.where(
+                is_hit,
+                match.argmax(axis=1),  # first matching way
+                np.argmin(self._ages[rows], axis=1),  # first oldest way
             )
-            lru = {tag: age for age, tag in resident}
-            for pos in chunk.tolist():
-                line = int(lines[pos])
-                age = base_clock + pos + 1
-                if line in lru:
-                    hits += 1
-                    del lru[line]  # re-insert to refresh recency
-                else:
-                    misses += 1
-                    if len(lru) >= self.ways:
-                        evictions += 1
-                        del lru[next(iter(lru))]
-                lru[line] = age
-            # Write back (ways hold residents oldest-to-newest; way
-            # placement is immaterial: victim choice keys on age only).
-            row_tags.fill(-1)
-            row_ages.fill(0)
-            for way, (tag, age) in enumerate(lru.items()):
-                row_tags[way] = tag
-                row_ages[way] = age
+            step_hits = int(is_hit.sum())
+            hits += step_hits
+            misses += group.size - step_hits
+            victim_open = tag_rows[np.arange(group.size), way] != -1
+            evictions += int((victim_open & ~is_hit).sum())
+            self._ages[rows, way] = base_clock + positions + 1
+            miss = ~is_hit
+            self._tags[rows[miss], way[miss]] = line[miss]
         self._clock = base_clock + n
         self.stats.accesses += n
         self.stats.hits += hits
@@ -150,6 +152,11 @@ class SetAssociativeCache:
             if misses:
                 self.obs.metrics.counter("cache.misses").inc(misses, cache=self.name)
         return hits
+
+    def access_lines_reference(self, line_ids: np.ndarray) -> int:
+        """Sequential normative spec: one :meth:`access_line` per element."""
+        lines = np.asarray(line_ids, dtype=np.int64).ravel()
+        return sum(self.access_line(int(line)) for line in lines.tolist())
 
     def access_addresses(self, addresses: np.ndarray) -> int:
         """Access byte addresses (converted to lines); returns hits."""

@@ -3,11 +3,52 @@
 The phase-level experiments use the analytic :class:`~repro.mem.dram.
 DramModel` (bandwidth derated by row locality); this module provides the
 detailed counterpart for small traces: per-bank row buffers, explicit
-tRCD/tRP/tCL/tBurst timing, FR-FCFS-lite scheduling (row hits first
-within a small reorder window), and per-command energy.  Tests validate
-that the analytic model's efficiency band (35-90 % of peak) brackets
-what this simulator measures on streaming vs. random traces — the same
-role DramSim2 played for the paper's own analytic assumptions.
+tRCD/tRP/tCL/tBurst timing, tRRD/tFAW activation-rate limits, a shared
+data bus, and per-bank row hit/miss accounting.  Tests validate that the
+analytic model's efficiency band (35-90 % of peak) brackets what this
+simulator measures on streaming vs. random traces — the same role
+DramSim2 played for the paper's own analytic assumptions.
+
+**The batched replay model.**  A trace is serviced as independent
+per-bank command streams merged against the shared resources — the
+formulation GraphCage-style cache-aware partitioning suggests: bank
+behaviour is a property of each bank's own request subsequence, global
+behaviour of how those streams contend for the activation budget and
+the data bus.  Concretely, for a trace of ``n`` addresses:
+
+1. **Bank partition.** Each request maps to a bank (row:bank:column
+   interleave) and a row.  Banks service their own subsequences in
+   order; a request is a *row hit* iff its row equals the row the bank
+   currently has open (row state persists across ``process`` calls
+   until :meth:`BankedDramSim.reset`).
+2. **Per-bank pipeline.** The front end issues one command per cycle,
+   so request ``i`` cannot start before cycle ``i``; within a bank,
+   ``command = max(i, bank_ready)``.  A hit occupies the bank for
+   ``tBurst``; a miss pays ``tRP`` (if a row was open) plus
+   ``tRCD`` before its burst.
+3. **Activation merge.** All misses, in trace order, share the
+   activation budget: the k-th activation cannot issue earlier than
+   ``tRRD`` after the previous one nor earlier than ``tFAW`` after the
+   fourth-last one.
+4. **Data-bus merge.** Every request's data occupies the shared bus for
+   ``tBurst``, in trace order; the trace completes when the last burst
+   drains.
+
+Activation-limit and bus delays postpone *data transfer* but do not
+back-pressure a bank's internal pipeline (streams are pre-scheduled —
+the standard decoupling of batched replays).  This replaces the older
+FR-FCFS-lite reorder window: partitioning by bank already keeps every
+bank's row stream intact across arbitrary bank interleaving, which is
+what the window existed to approximate.
+
+Both implementations of the model are kept, following the
+``filter_unique`` / ``filter_unique_reference`` convention:
+:meth:`BankedDramSim.process_reference` is the sequential normative
+spec, :meth:`BankedDramSim.process` the vectorized batch replay
+(argsort bank grouping, segmented max-plus scans, a closed-form
+residue-class cummax for the tRRD/tFAW chain).  Property tests assert
+they produce byte-identical cycle totals, row hit/miss counts, and
+post-trace bank state.
 """
 
 from __future__ import annotations
@@ -40,15 +81,54 @@ class DramTimingParams:
 
 @dataclass
 class BankState:
+    """Persistent per-bank state: the open row and cumulative counters."""
+
     open_row: int = -1
-    ready_cycle: int = 0  # earliest cycle the bank accepts a command
     row_hits: int = 0
     row_misses: int = 0
 
 
+def _activation_chain(base: np.ndarray, t_rrd: int, t_faw: int) -> np.ndarray:
+    """Exact solve of ``x[k] = max(base[k], x[k-1]+tRRD, x[k-4]+tFAW)``.
+
+    The recurrence is max-plus linear, so ``x[k]`` is the best-cost path
+    from any earlier activation: ``x[k] = max_j base[j] + cost(k - j)``
+    with steps of 1 (cost ``tRRD``) and 4 (cost ``tFAW``).  For a gap of
+    ``d`` the optimal mix is closed-form — ``cost(d) = (d // 4) * F +
+    (d % 4) * tRRD`` with ``F = max(tFAW, 4 * tRRD)`` — which turns the
+    chain into four strided running maxima plus four shifted
+    elementwise maxima instead of a sequential loop.
+    """
+    m = int(base.size)
+    if m == 0:
+        return base.copy()
+    big_step = max(int(t_faw), 4 * int(t_rrd))
+    positions = np.arange(m, dtype=np.int64)
+    # Running class maxima of base[j] - F * (j // 4), one class per
+    # residue j % 4: after the strided accumulate, entry k holds the
+    # best origin j <= k with j ≡ k (mod 4).
+    class_max = base - big_step * (positions >> 2)
+    for residue in range(min(4, m)):
+        class_max[residue::4] = np.maximum.accumulate(class_max[residue::4])
+    x = np.full(m, np.iinfo(np.int64).min, dtype=np.int64)
+    for residue in range(min(4, m)):
+        gaps = positions[residue:] - residue
+        candidate = (
+            residue * t_rrd + big_step * (gaps >> 2) + class_max[: m - residue]
+        )
+        np.maximum(x[residue:], candidate, out=x[residue:])
+    return x
+
+
 @dataclass
 class BankedDramSim:
-    """A multi-bank DRAM device processing a transaction trace exactly."""
+    """A multi-bank DRAM device processing a transaction trace exactly.
+
+    ``reorder_window`` is retained for API compatibility with the older
+    FR-FCFS-lite scheduler; the batched replay model services each
+    bank's stream in order, which subsumes the window (see module
+    docstring).
+    """
 
     config: DramConfig
     timing: DramTimingParams = field(default_factory=DramTimingParams)
@@ -67,8 +147,6 @@ class BankedDramSim:
             self.config.peak_bandwidth_bps / self.sector_bytes * self.timing.t_burst
         )
         self._banks = [BankState() for _ in range(self.num_banks)]
-        self._data_bus_free = 0
-        self._recent_activations: list[int] = []
 
     # -- address mapping -----------------------------------------------------
 
@@ -80,80 +158,124 @@ class BankedDramSim:
     def _row_of(self, address: int) -> int:
         return address // (self.config.row_bytes * self.num_banks)
 
-    # -- simulation ------------------------------------------------------------
+    # -- simulation ----------------------------------------------------------
 
     def process(self, addresses: np.ndarray) -> "DramSimResult":
-        """Service a transaction trace; returns cycle/energy statistics."""
-        addresses = np.asarray(addresses, dtype=np.int64)
-        pending = list(addresses.tolist())
-        current_cycle = 0
-        served = 0
-        while pending:
-            # FR-FCFS-lite: within the head-of-queue window, prefer a
-            # request whose bank has its row open and is ready.
-            window = pending[: self.reorder_window]
-            choice = 0
-            for i, address in enumerate(window):
-                bank = self._banks[self._bank_of(address)]
-                if (
-                    bank.open_row == self._row_of(address)
-                    and bank.ready_cycle <= current_cycle
-                ):
-                    choice = i
-                    break
-            address = pending.pop(choice)
-            current_cycle = self._service(address, current_cycle)
-            served += 1
-        total_cycles = max(current_cycle, self._data_bus_free)
+        """Service a transaction trace (vectorized batch replay).
+
+        Byte-identical to :meth:`process_reference`.  All per-trace
+        timing state (bank pipelines, activation history, data bus) is
+        local to the call: only row state and hit/miss counters persist
+        across calls.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64).ravel()
+        n = int(addresses.size)
+        if n == 0:
+            return self._result(transactions=0, cycles=0)
+        timing = self.timing
+        banks = (addresses // self.config.row_bytes) & (self.num_banks - 1)
+        rows = addresses // (self.config.row_bytes * self.num_banks)
+
+        is_hit = np.empty(n, dtype=bool)
+        command = np.empty(n, dtype=np.int64)
+        penalty = np.empty(n, dtype=np.int64)
+        # Stable sort groups each bank's subsequence in trace order.
+        order = np.argsort(banks, kind="stable")
+        boundaries = np.nonzero(np.diff(banks[order]))[0] + 1
+        for segment in np.split(order, boundaries):
+            state = self._banks[int(banks[segment[0]])]
+            seg_rows = rows[segment]
+            hits = np.empty(segment.size, dtype=bool)
+            hits[0] = seg_rows[0] == state.open_row
+            hits[1:] = seg_rows[1:] == seg_rows[:-1]
+            # tRP applies to a miss only when a row is open; after the
+            # first access the bank always has one (rows are >= 0, so a
+            # closed bank cannot hit on its first access).
+            pen = np.where(hits, 0, timing.t_rp)
+            if state.open_row == -1:
+                pen[0] = 0
+            increment = np.where(
+                hits, timing.t_burst, pen + timing.t_rcd + timing.t_burst
+            )
+            # command[k] = max(i_k, ready[k-1]) with ready[k] =
+            # command[k] + increment[k] is a max-plus prefix: with
+            # CS = cumsum(increment), command = CSprev + cummax(i - CSprev).
+            cs_prev = np.cumsum(increment) - increment
+            command[segment] = cs_prev + np.maximum.accumulate(segment - cs_prev)
+            penalty[segment] = pen
+            is_hit[segment] = hits
+            state.row_hits += int(hits.sum())
+            state.row_misses += int(segment.size - hits.sum())
+            state.open_row = int(seg_rows[-1])
+
+        data_ready = command + timing.t_cl
+        miss_index = np.nonzero(~is_hit)[0]
+        if miss_index.size:
+            act = _activation_chain(
+                command[miss_index] + penalty[miss_index],
+                timing.t_rrd,
+                timing.t_faw,
+            )
+            data_ready[miss_index] = act + timing.t_rcd + timing.t_cl
+        # Shared data bus: bursts drain in trace order, one per tBurst;
+        # the final busy time is a single max over shifted ready times.
+        total = int(
+            np.max(data_ready + (n - np.arange(n, dtype=np.int64)) * timing.t_burst)
+        )
+        return self._result(transactions=n, cycles=total)
+
+    def process_reference(self, addresses: np.ndarray) -> "DramSimResult":
+        """Sequential normative spec of the batched replay model."""
+        addresses = np.asarray(addresses, dtype=np.int64).ravel()
+        n = int(addresses.size)
+        if n == 0:
+            return self._result(transactions=0, cycles=0)
+        timing = self.timing
+        bank_ready = [0] * self.num_banks
+        recent_activations: list[int] = []
+        bus_free = 0
+        for i, address in enumerate(addresses.tolist()):
+            bank_id = self._bank_of(address)
+            bank = self._banks[bank_id]
+            row = self._row_of(address)
+            command = max(i, bank_ready[bank_id])
+            if bank.open_row == row:
+                bank.row_hits += 1
+                data_ready = command + timing.t_cl
+                bank_ready[bank_id] = command + timing.t_burst
+            else:
+                pen = timing.t_rp if bank.open_row != -1 else 0
+                bank.row_misses += 1
+                bank.open_row = row
+                # Activation-rate limits (tRRD between ACTs, tFAW per
+                # four) delay the data, not the bank pipeline.
+                act = command + pen
+                if recent_activations:
+                    act = max(act, recent_activations[-1] + timing.t_rrd)
+                if len(recent_activations) >= 4:
+                    act = max(act, recent_activations[-4] + timing.t_faw)
+                recent_activations.append(act)
+                if len(recent_activations) > 4:
+                    recent_activations.pop(0)
+                data_ready = act + timing.t_rcd + timing.t_cl
+                bank_ready[bank_id] = command + pen + timing.t_rcd + timing.t_burst
+            bus_free = max(data_ready, bus_free) + timing.t_burst
+        return self._result(transactions=n, cycles=bus_free)
+
+    def _result(self, *, transactions: int, cycles: int) -> "DramSimResult":
         return DramSimResult(
-            transactions=served,
-            cycles=total_cycles,
-            elapsed_s=total_cycles / self.clock_hz,
-            bytes_transferred=served * self.sector_bytes,
-            row_hits=sum(b.row_hits for b in self._banks),
-            row_misses=sum(b.row_misses for b in self._banks),
+            transactions=transactions,
+            cycles=cycles,
+            elapsed_s=cycles / self.clock_hz,
+            bytes_transferred=transactions * self.sector_bytes,
+            row_hits=sum(bank.row_hits for bank in self._banks),
+            row_misses=sum(bank.row_misses for bank in self._banks),
             peak_bandwidth_bps=self.config.peak_bandwidth_bps,
         )
 
-    def _service(self, address: int, now: int) -> int:
-        bank = self._banks[self._bank_of(address)]
-        row = self._row_of(address)
-        command_cycle = max(now, bank.ready_cycle)
-        if bank.open_row == row:
-            # Column reads to an open row pipeline at the burst rate.
-            bank.row_hits += 1
-            data_ready = command_cycle + self.timing.t_cl
-            bank.ready_cycle = command_cycle + self.timing.t_burst
-        else:
-            penalty = self.timing.t_rp if bank.open_row != -1 else 0
-            bank.row_misses += 1
-            bank.open_row = row
-            # Activation-rate limits (tRRD between ACTs, tFAW per four).
-            act_cycle = command_cycle + penalty
-            if self._recent_activations:
-                act_cycle = max(
-                    act_cycle, self._recent_activations[-1] + self.timing.t_rrd
-                )
-            if len(self._recent_activations) >= 4:
-                act_cycle = max(
-                    act_cycle, self._recent_activations[-4] + self.timing.t_faw
-                )
-            self._recent_activations.append(act_cycle)
-            if len(self._recent_activations) > 4:
-                self._recent_activations.pop(0)
-            activation = act_cycle + self.timing.t_rcd
-            data_ready = activation + self.timing.t_cl
-            bank.ready_cycle = activation + self.timing.t_burst
-        data_start = max(data_ready, self._data_bus_free)
-        self._data_bus_free = data_start + self.timing.t_burst
-        # The front end issues one command per cycle; banks overlap and
-        # only the shared data bus serializes the bursts.
-        return command_cycle + 1
-
     def reset(self) -> None:
+        """Close every row and zero the cumulative hit/miss counters."""
         self._banks = [BankState() for _ in range(self.num_banks)]
-        self._data_bus_free = 0
-        self._recent_activations = []
 
 
 @dataclass(frozen=True)
@@ -168,6 +290,12 @@ class DramSimResult:
     row_misses: int
     peak_bandwidth_bps: float
 
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth_bps <= 0:
+            raise ConfigError(
+                f"peak_bandwidth_bps must be positive, got {self.peak_bandwidth_bps}"
+            )
+
     @property
     def achieved_bandwidth_bps(self) -> float:
         if self.elapsed_s == 0:
@@ -177,6 +305,8 @@ class DramSimResult:
     @property
     def efficiency(self) -> float:
         """Fraction of peak bandwidth sustained."""
+        if self.peak_bandwidth_bps == 0:  # defense in depth; rejected above
+            return 0.0
         return self.achieved_bandwidth_bps / self.peak_bandwidth_bps
 
     @property

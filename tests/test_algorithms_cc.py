@@ -6,6 +6,7 @@ import pytest
 
 from repro.algorithms import (
     SystemMode,
+    connected_components_labels,
     connected_components_reference,
     run_algorithm,
 )
@@ -49,6 +50,63 @@ class TestReference:
         for component in np.unique(labels):
             members = np.nonzero(labels == component)[0]
             assert component == members.min()
+
+
+class TestVectorizedLabels:
+    """Pointer-jumping labels are pinned byte-identical to union-find."""
+
+    @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+    def test_matches_reference_on_generators(self, graph_name):
+        graph = GRAPHS[graph_name]
+        assert np.array_equal(
+            connected_components_labels(graph),
+            connected_components_reference(graph),
+        )
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CsrGraph
+
+        graph = CsrGraph(
+            offsets=np.zeros(1, dtype=np.int64),
+            edges=np.array([], dtype=np.int64),
+            weights=np.array([], dtype=np.float64),
+        )
+        assert connected_components_labels(graph).size == 0
+
+    def test_single_node(self):
+        graph = build_csr(
+            1, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        assert list(connected_components_labels(graph)) == [0]
+
+    def test_isolated_nodes(self):
+        graph = build_csr(
+            6, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        assert np.array_equal(connected_components_labels(graph), np.arange(6))
+
+    def test_long_chain_converges(self):
+        # A path graph exercises the pointer-jumping rounds (diameter n).
+        n = 513
+        sources = np.arange(n - 1)
+        targets = np.arange(1, n)
+        graph = build_csr(n, sources, targets, symmetrize=True)
+        labels = connected_components_labels(graph)
+        assert np.array_equal(labels, np.zeros(n, dtype=np.int64))
+        assert np.array_equal(labels, connected_components_reference(graph))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fuzz_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(1, 80))
+        num_edges = int(rng.integers(0, 3 * num_nodes))
+        sources = rng.integers(0, num_nodes, size=num_edges)
+        targets = rng.integers(0, num_nodes, size=num_edges)
+        graph = build_csr(num_nodes, sources, targets, symmetrize=True)
+        assert np.array_equal(
+            connected_components_labels(graph),
+            connected_components_reference(graph),
+        )
 
 
 class TestSimulatedCC:

@@ -65,6 +65,48 @@ class TestGroupOrder:
         assert np.array_equal(vec, ref)
 
 
+class TestAdversarialEquivalence:
+    """Edge cases for the ragged-gather fast path vs the dict reference."""
+
+    @staticmethod
+    def assert_equivalent(blocks, table=TABLE, group_size=8):
+        blocks = np.asarray(blocks, dtype=np.int64)
+        vec = group_order(blocks, table, group_size=group_size)
+        ref = group_order_reference(blocks, table, group_size=group_size)
+        assert np.array_equal(vec, ref)
+
+    def test_single_element(self):
+        self.assert_equivalent([9])
+
+    def test_all_same_slot_different_blocks(self):
+        # One-entry table: every block hashes to slot 0, so every block
+        # change evicts — the maximal-conflict stream.
+        one = HashTableConfig("one", capacity_bytes=32, ways=1, bytes_per_entry=32)
+        self.assert_equivalent(np.arange(64) % 7, table=one)
+
+    def test_all_same_block_overflowing_groups(self):
+        for group_size in (1, 2, 8):
+            self.assert_equivalent(np.zeros(33, dtype=np.int64), group_size=group_size)
+
+    def test_group_size_one(self):
+        rng = np.random.default_rng(3)
+        self.assert_equivalent(rng.integers(0, 10, size=100), group_size=1)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fuzz_fixed_seeds(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 500))
+        span = int(rng.choice([1, 4, 64, 10_000]))
+        entries = int(rng.choice([1, 2, 16, 1024]))
+        table = HashTableConfig(
+            "fuzz", capacity_bytes=entries * 32, ways=1, bytes_per_entry=32
+        )
+        group_size = int(rng.choice([1, 3, 8]))
+        self.assert_equivalent(
+            rng.integers(0, span, size=n), table=table, group_size=group_size
+        )
+
+
 class TestGroupingImprovesLocality:
     def test_quality_improves_on_shuffled_stream(self):
         rng = np.random.default_rng(1)

@@ -118,6 +118,52 @@ class TestBatchedMatchesScalar:
         assert cache.stats.accesses == 0
 
 
+class TestMatrixReplayMatchesReference:
+    """The across-set matrix replay is pinned byte-identical — tags,
+    ages, way placement, and stats — to ``access_lines_reference``."""
+
+    @staticmethod
+    def assert_equivalent(lines, *, calls=1, ways=2, capacity=2048):
+        vec = SetAssociativeCache(capacity_bytes=capacity, line_bytes=64, ways=ways)
+        ref = SetAssociativeCache(capacity_bytes=capacity, line_bytes=64, ways=ways)
+        for _ in range(calls):
+            assert vec.access_lines(lines) == ref.access_lines_reference(lines)
+        assert np.array_equal(vec._tags, ref._tags)
+        assert np.array_equal(vec._ages, ref._ages)
+        assert vars(vec.stats) == vars(ref.stats)
+        assert vec._clock == ref._clock
+
+    def test_empty(self):
+        self.assert_equivalent(np.array([], dtype=np.int64))
+
+    def test_single_element(self):
+        self.assert_equivalent(np.array([42], dtype=np.int64))
+
+    def test_all_same_set_collisions(self):
+        # num_sets = 16: every multiple of 16 maps to set 0, with more
+        # distinct lines than ways — continuous thrash in one set.
+        lines = (np.arange(200) % 5) * 16
+        self.assert_equivalent(lines)
+
+    def test_all_same_line(self):
+        self.assert_equivalent(np.full(100, 7, dtype=np.int64))
+
+    def test_repeated_calls_share_state(self):
+        rng = np.random.default_rng(17)
+        self.assert_equivalent(rng.integers(0, 64, size=300), calls=3)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_fuzz(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 400))
+        span = int(rng.choice([8, 64, 4096]))
+        ways = int(rng.choice([1, 2, 8]))
+        self.assert_equivalent(
+            rng.integers(0, span, size=n), ways=ways, capacity=64 * 64 * ways
+        )
+
+
 class TestSectorToLineGranularity:
     """CoalesceResult sector ids vs wider cache lines (the 32 B/128 B bug)."""
 

@@ -10,7 +10,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.mem import GDDR5, LPDDR4, DramModel
-from repro.mem.dram_sim import BankedDramSim, DramTimingParams
+from repro.mem.dram_sim import BankedDramSim, DramSimResult, DramTimingParams
 
 
 def sequential_trace(n, row_bytes=2048, sector=32):
@@ -80,6 +80,127 @@ class TestBehaviour:
         fast = BankedDramSim(GDDR5, reorder_window=8).process(trace)
         slow = BankedDramSim(GDDR5, reorder_window=1).process(trace)
         assert fast.elapsed_s <= slow.elapsed_s
+
+
+def _bank_state(sim):
+    return [(b.open_row, b.row_hits, b.row_misses) for b in sim._banks]
+
+
+def assert_equivalent(trace, *, config=GDDR5, calls=1, **kwargs):
+    """Vectorized and reference replays must match byte-for-byte."""
+    vec = BankedDramSim(config, **kwargs)
+    ref = BankedDramSim(config, **kwargs)
+    for _ in range(calls):
+        rv = vec.process(trace)
+        rr = ref.process_reference(trace)
+        assert rv.cycles == rr.cycles
+        assert rv.row_hits == rr.row_hits
+        assert rv.row_misses == rr.row_misses
+        assert rv.transactions == rr.transactions
+    assert _bank_state(vec) == _bank_state(ref)
+
+
+class TestVectorizedMatchesReference:
+    """``process`` is pinned byte-identical to ``process_reference``."""
+
+    def test_sequential(self):
+        assert_equivalent(sequential_trace(2048))
+
+    def test_random(self):
+        assert_equivalent(random_trace(2048, seed=7))
+
+    def test_empty(self):
+        assert_equivalent(np.empty(0, dtype=np.int64))
+
+    def test_single_element(self):
+        assert_equivalent(np.array([4096], dtype=np.int64))
+
+    def test_all_same_address(self):
+        # One bank, one row: worst-case collision stream.
+        assert_equivalent(np.full(257, 12345 * 32, dtype=np.int64))
+
+    def test_reorder_window_sized_traces(self):
+        for window in (1, 4, 8):
+            trace = random_trace(window, seed=window)
+            assert_equivalent(trace, reorder_window=window)
+
+    def test_two_row_ping_pong(self):
+        a = np.arange(128, dtype=np.int64) * 32
+        trace = np.empty(256, dtype=np.int64)
+        trace[0::2], trace[1::2] = a, a + (1 << 24)
+        assert_equivalent(trace)
+
+    def test_state_persists_across_calls(self):
+        assert_equivalent(random_trace(300, seed=3), calls=3)
+
+    @pytest.mark.parametrize("config", [GDDR5, LPDDR4], ids=lambda c: c.name)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz(self, config, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 600))
+        span = int(rng.choice([1 << 12, 1 << 18, 1 << 30]))
+        trace = rng.integers(0, max(span // 32, 1), size=n) * 32
+        assert_equivalent(trace, config=config, calls=2)
+
+    def test_tight_activation_limits(self):
+        timing = DramTimingParams(t_rrd=20, t_faw=100)
+        vec = BankedDramSim(GDDR5, timing=timing)
+        ref = BankedDramSim(GDDR5, timing=timing)
+        trace = random_trace(512, seed=11)
+        assert vec.process(trace).cycles == ref.process_reference(trace).cycles
+
+
+class TestStateLeak:
+    """Per-trace timing state must not leak into the next ``process``."""
+
+    def test_second_call_identical_to_first(self):
+        sim = BankedDramSim(GDDR5)
+        trace = np.full(64, 777 * 32, dtype=np.int64)  # one bank, one row
+        first = sim.process(trace)
+        second = sim.process(trace)
+        # The second trace is all row hits (the row stayed open), so it
+        # must be *cheaper* than the first — with leaked bus/activation
+        # state it would start beyond the first trace's finish time.
+        assert second.cycles < first.cycles
+        # All-hits single-bank trace drains one burst per slot after the
+        # first CAS latency: n*t_burst + t_cl exactly.
+        timing = sim.timing
+        assert second.cycles == 64 * timing.t_burst + timing.t_cl
+
+    def test_reference_agrees_after_repeat(self):
+        trace = random_trace(200, seed=5)
+        assert_equivalent(trace, calls=2)
+
+
+class TestResultValidation:
+    def test_zero_peak_rejected_at_construction(self):
+        with pytest.raises(ConfigError):
+            DramSimResult(
+                transactions=1,
+                cycles=10,
+                elapsed_s=1e-6,
+                bytes_transferred=32,
+                row_hits=0,
+                row_misses=1,
+                peak_bandwidth_bps=0.0,
+            )
+
+    def test_negative_peak_rejected(self):
+        with pytest.raises(ConfigError):
+            DramSimResult(
+                transactions=0,
+                cycles=0,
+                elapsed_s=0.0,
+                bytes_transferred=0,
+                row_hits=0,
+                row_misses=0,
+                peak_bandwidth_bps=-1.0,
+            )
+
+    def test_efficiency_finite(self):
+        result = BankedDramSim(GDDR5).process(sequential_trace(64))
+        assert np.isfinite(result.efficiency)
+        assert 0.0 < result.efficiency <= 1.0
 
 
 class TestAnalyticModelValidation:
