@@ -15,6 +15,27 @@ from .compare import (
     compare_artifacts,
     compare_records,
 )
+from .loadtest import (
+    LATENCY_STATS,
+    RATE_STATS,
+    SERVE_KIND,
+    SERVE_SCHEMA_VERSION,
+    SLO_CEILINGS,
+    SLO_FLOORS,
+    WORKLOAD_FIELDS,
+    LoadtestConfig,
+    RequestResult,
+    ServeArtifact,
+    build_population,
+    build_schedule,
+    compare_serve_artifacts,
+    evaluate_slo,
+    parse_slo,
+    run_loadtest,
+    summarize_results,
+    summarize_server,
+    zipf_weights,
+)
 from .micro import (
     DEFAULT_MICRO_REPS,
     DRAM_TRACE_LEN,
@@ -79,6 +100,25 @@ __all__ = [
     "DRAM_TRACE_LEN",
     "run_micro",
     "compare_micro_artifacts",
+    "SERVE_SCHEMA_VERSION",
+    "SERVE_KIND",
+    "WORKLOAD_FIELDS",
+    "LATENCY_STATS",
+    "RATE_STATS",
+    "SLO_CEILINGS",
+    "SLO_FLOORS",
+    "LoadtestConfig",
+    "RequestResult",
+    "ServeArtifact",
+    "build_population",
+    "build_schedule",
+    "zipf_weights",
+    "summarize_results",
+    "summarize_server",
+    "run_loadtest",
+    "compare_serve_artifacts",
+    "parse_slo",
+    "evaluate_slo",
     "build_scoreboard",
     "evaluate_expectations",
     "run_scoreboard_experiments",

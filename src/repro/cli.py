@@ -19,9 +19,17 @@ Commands:
   ``--micro`` swaps the grid for the kernel-level microbenchmark
   suite (``BENCH_micro_<tag>.json``, same compare gating);
 * ``serve``                         — long-lived HTTP simulation service
-  (``POST /run``, ``GET /healthz``, ``GET /metrics``) with bounded
-  admission, single-flight coalescing and run-cache reuse (``--port``,
-  ``--workers``, ``--queue-depth``, ``--request-timeout``, ``--isolate``);
+  (``POST /run``, ``GET /healthz``, ``GET /metrics``,
+  ``GET /debug/requests``) with bounded admission, single-flight
+  coalescing, run-cache reuse and per-request telemetry (``--port``,
+  ``--workers``, ``--queue-depth``, ``--request-timeout``, ``--isolate``,
+  ``--access-log``, ``--no-telemetry``);
+* ``loadtest``                      — reproducible closed/open-loop load
+  generator against ``repro serve`` (in-process by default, ``--url``
+  for a live one); writes ``BENCH_serve_<tag>.json`` with latency
+  percentiles, throughput and coalesce/cache ratios; ``--compare``
+  gates regressions (exit 2) and ``--slo`` gates absolute objectives
+  (exit 3);
 * ``synthesis``                     — per-component SCU area/power report;
 * ``export DIR``                    — reproduce everything and write JSON+CSV;
 * ``info``                          — show the simulated hardware configurations.
@@ -307,8 +315,80 @@ def _cmd_serve(args) -> int:
         request_timeout_s=args.request_timeout,
         retry_after_s=args.retry_after,
         run_isolated=args.isolate,
+        telemetry=not args.no_telemetry,
+        access_log=args.access_log,
+        journal_size=args.journal_size,
     )
     return run_service(config)
+
+
+#: Exit code of ``loadtest --slo`` when an objective is violated.
+EXIT_SLO = 3
+
+
+def _cmd_loadtest(args) -> int:
+    from .bench import (
+        LoadtestConfig,
+        ServeArtifact,
+        compare_serve_artifacts,
+        evaluate_slo,
+        parse_slo,
+        run_loadtest,
+        short_git_sha,
+    )
+
+    slo = parse_slo(args.slo or [])
+    config = LoadtestConfig(
+        mode=args.mode,
+        requests=args.requests,
+        clients=args.clients,
+        rate=args.rate,
+        keys=args.keys,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        request_timeout_s=args.request_timeout,
+    )
+    tag = args.tag or short_git_sha()
+    progress = None if args.no_progress else (lambda line: print(line))
+    artifact = run_loadtest(config, url=args.url, tag=tag, progress=progress)
+    out_path = args.out or f"BENCH_serve_{tag}.json"
+    artifact.save(out_path)
+    print(f"artifact written to {out_path}")
+    status = 0
+    if args.compare is not None:
+        baseline = ServeArtifact.load(args.compare)
+        report = compare_serve_artifacts(
+            baseline,
+            artifact,
+            latency_tolerance_pct=args.latency_tolerance,
+            rate_tolerance=args.rate_tolerance,
+        )
+        print()
+        print(render_table(report.table()))
+        if not report.ok:
+            print(
+                f"REGRESSION against {args.compare}: "
+                f"{len(report.regressions)} finding(s)",
+                file=sys.stderr,
+            )
+            status = EXIT_REGRESSION
+        else:
+            print(f"no regression against {args.compare}")
+    if slo:
+        violations = evaluate_slo(artifact, slo)
+        if violations:
+            for violation in violations:
+                print(
+                    f"SLO VIOLATION: {violation.metric} = "
+                    f"{violation.current} (limit {violation.baseline})",
+                    file=sys.stderr,
+                )
+            status = status or EXIT_SLO
+        else:
+            print(f"all {len(slo)} SLO(s) met")
+    return status
 
 
 def _cmd_synthesis(_args) -> int:
@@ -523,7 +603,109 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate each request in a killable child process so the "
         "request timeout is a hard deadline",
     )
+    serve_parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable per-request telemetry (the /debug/requests journal "
+        "and stage-latency histograms); responses are byte-identical "
+        "either way",
+    )
+    serve_parser.add_argument(
+        "--access-log", metavar="PATH", default=None,
+        help="append one JSON line per served request to PATH "
+        "('-' for stderr; default: no access log)",
+    )
+    serve_parser.add_argument(
+        "--journal-size", type=int, default=256, metavar="N",
+        help="ring-buffer capacity of the /debug/requests journal "
+        "(default 256)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    loadtest_parser = commands.add_parser(
+        "loadtest",
+        help="drive a repro serve instance with a reproducible request "
+        "mix; writes BENCH_serve_<tag>.json",
+    )
+    loadtest_parser.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed: N clients back-to-back; open: fixed arrival rate "
+        "(default closed)",
+    )
+    loadtest_parser.add_argument(
+        "--requests", type=int, default=120, metavar="N",
+        help="total requests to issue (default 120)",
+    )
+    loadtest_parser.add_argument(
+        "--clients", type=int, default=4, metavar="N",
+        help="concurrent callers in closed-loop mode (default 4)",
+    )
+    loadtest_parser.add_argument(
+        "--rate", type=float, default=20.0, metavar="RPS",
+        help="arrivals per second in open-loop mode (default 20)",
+    )
+    loadtest_parser.add_argument(
+        "--keys", type=int, default=9, metavar="N",
+        help="distinct request keys in the population (default 9)",
+    )
+    loadtest_parser.add_argument(
+        "--zipf", type=float, default=1.1, metavar="S",
+        help="zipf popularity exponent; 0 = uniform (default 1.1)",
+    )
+    loadtest_parser.add_argument(
+        "--seed", type=int, default=42,
+        help="schedule seed; same seed = same request sequence (default 42)",
+    )
+    loadtest_parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help="target a running service instead of starting one in-process",
+    )
+    loadtest_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="in-process server worker pool (ignored with --url; default 2)",
+    )
+    loadtest_parser.add_argument(
+        "--queue-depth", type=int, default=8, metavar="N",
+        help="in-process server admission bound (ignored with --url; "
+        "default 8)",
+    )
+    loadtest_parser.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="in-process server per-request deadline (ignored with --url)",
+    )
+    loadtest_parser.add_argument(
+        "--tag", default=None,
+        help="artifact tag (default: short git SHA)",
+    )
+    loadtest_parser.add_argument(
+        "--out", default=None,
+        help="artifact path (default BENCH_serve_<tag>.json)",
+    )
+    loadtest_parser.add_argument(
+        "--compare", metavar="BASELINE.json", default=None,
+        help="diff this run against a baseline serve artifact; "
+        "exit 2 on regression",
+    )
+    loadtest_parser.add_argument(
+        "--latency-tolerance", type=float, default=300.0, metavar="PCT",
+        help="relative latency slowdown tolerated by --compare "
+        "(percent; <= 0 disables latency gating, e.g. across machines; "
+        "default 300)",
+    )
+    loadtest_parser.add_argument(
+        "--rate-tolerance", type=float, default=0.05, metavar="ABS",
+        help="absolute increase in 429/504/error ratios tolerated by "
+        "--compare (default 0.05)",
+    )
+    loadtest_parser.add_argument(
+        "--slo", nargs="+", metavar="NAME=VALUE", default=None,
+        help="absolute objectives (e.g. p99_ms=500 error_rate=0 "
+        "throughput_rps=10); any violation exits 3",
+    )
+    loadtest_parser.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress progress lines",
+    )
+    loadtest_parser.set_defaults(func=_cmd_loadtest)
 
     commands.add_parser(
         "synthesis", help="per-component SCU area/power report"

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from .lru import LruCache
 from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
     NULL_METRICS,
     Counter,
     Gauge,
@@ -33,6 +34,16 @@ from .metrics import (
     NullMetrics,
     global_metrics,
     merge_flat_snapshots,
+    quantile_from_buckets,
+)
+from .promtext import (
+    PromSample,
+    bucket_cumulative,
+    check_exposition,
+    diff_cumulative,
+    parse_exposition,
+    sample_map,
+    sum_by_name,
 )
 from .profile import (
     render_sim_profile,
@@ -84,8 +95,17 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "quantile_from_buckets",
     "global_metrics",
     "merge_flat_snapshots",
+    "PromSample",
+    "parse_exposition",
+    "check_exposition",
+    "sample_map",
+    "sum_by_name",
+    "bucket_cumulative",
+    "diff_cumulative",
     "LruCache",
     "wall_profile",
     "sim_profile",

@@ -12,7 +12,13 @@ Instruments follow the Prometheus vocabulary:
 * :class:`Counter` — monotonically increasing totals (``inc``);
 * :class:`Gauge` — last-write-wins values (``set``);
 * :class:`Histogram` — running count/sum/min/max of observations,
-  with a vectorized ``observe_many`` for per-element series.
+  with a vectorized ``observe_many`` for per-element series.  A
+  histogram may additionally be registered with fixed *buckets* (e.g.
+  :data:`DEFAULT_LATENCY_BUCKETS`, log-spaced from 0.5 ms to ~65 s):
+  it then also keeps cumulative per-bucket counts, renders Prometheus
+  ``_bucket{le=...}`` series, and can estimate quantiles
+  (:meth:`Histogram.quantile`) by linear interpolation inside the
+  bucket that contains the target rank.
 
 :class:`NullMetrics` is the disabled registry: it hands out shared
 no-op instruments, so instrumentation sites never branch.
@@ -20,14 +26,93 @@ no-op instruments, so instrumentation sites never branch.
 
 from __future__ import annotations
 
+import bisect
+import math
 import re
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ObservabilityError
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Log-spaced (factor-2) latency buckets: 0.5 ms .. ~65.5 s.  Wide
+#: enough for a cached hit and a cold multi-second simulation alike;
+#: the implicit ``+Inf`` bucket catches everything beyond.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    0.0005 * 2**k for k in range(18)
+)
+
+
+def _normalize_buckets(buckets: Sequence[float]) -> Tuple[float, ...]:
+    """Validate explicit bucket bounds: finite, strictly increasing."""
+    bounds = tuple(float(b) for b in buckets if not math.isinf(float(b)))
+    if not bounds:
+        raise ObservabilityError("histogram buckets need at least one finite bound")
+    if any(not math.isfinite(b) for b in bounds):
+        raise ObservabilityError("histogram bucket bounds must be finite numbers")
+    if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+        raise ObservabilityError("histogram buckets must be strictly increasing")
+    return bounds
+
+
+def format_le(bound: float) -> str:
+    """Canonical ``le`` label value for one bucket bound."""
+    if math.isinf(bound):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+def quantile_from_buckets(
+    cumulative: Sequence[Tuple[float, float]],
+    q: float,
+    *,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> float:
+    """Estimate the ``q``-quantile from cumulative bucket counts.
+
+    ``cumulative`` is a sequence of ``(upper_bound, cumulative_count)``
+    pairs sorted by bound, whose last entry is the ``+Inf`` bucket (its
+    count is the total).  The estimate interpolates linearly inside the
+    bucket containing the target rank — the standard
+    ``histogram_quantile`` model.  ``lo``/``hi`` (e.g. the observed
+    min/max) clamp the open-ended first and last buckets so estimates
+    never leave the observed range.
+    """
+    if not cumulative:
+        return 0.0
+    total = cumulative[-1][1]
+    if total <= 0:
+        return 0.0
+    q = min(max(float(q), 0.0), 1.0)
+    target = q * total
+    lower = lo if lo is not None else 0.0
+    prev_cum = 0.0
+    for bound, cum in cumulative:
+        if cum >= target:
+            upper = bound
+            if math.isinf(upper):
+                upper = hi if hi is not None else lower
+            if hi is not None:
+                upper = min(upper, hi)
+            if upper < lower:
+                upper = lower
+            in_bucket = cum - prev_cum
+            value = (
+                upper
+                if in_bucket <= 0
+                else lower + (upper - lower) * (target - prev_cum) / in_bucket
+            )
+            if lo is not None:
+                value = max(value, lo)
+            if hi is not None:
+                value = min(value, hi)
+            return value
+        prev_cum = cum
+        lower = max(bound, lower) if lo is not None else bound
+    return hi if hi is not None else cumulative[-1][0]
 
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
@@ -96,43 +181,71 @@ class Gauge:
 
 
 class _HistogramSeries:
-    __slots__ = ("count", "sum", "min", "max")
+    __slots__ = ("count", "sum", "min", "max", "bucket_counts")
 
-    def __init__(self):
+    def __init__(self, n_buckets: int = 0):
         self.count = 0
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        # One bin per finite bound plus the +Inf overflow bin; None when
+        # the histogram was registered without buckets.
+        self.bucket_counts: Optional[List[int]] = (
+            [0] * (n_buckets + 1) if n_buckets else None
+        )
 
-    def add(self, value: float) -> None:
+    def add(self, value: float, bounds: Optional[Tuple[float, ...]] = None) -> None:
         self.count += 1
         self.sum += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        if self.bucket_counts is not None and bounds is not None:
+            self.bucket_counts[bisect.bisect_left(bounds, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def cumulative_buckets(self, bounds: Tuple[float, ...]) -> List[List[Any]]:
+        """``[[le_label, cumulative_count], ...]`` ending at ``+Inf``."""
+        assert self.bucket_counts is not None
+        out: List[List[Any]] = []
+        cum = 0
+        for bound, count in zip(bounds, self.bucket_counts):
+            cum += count
+            out.append([format_le(bound), cum])
+        out.append(["+Inf", self.count])
+        return out
+
 
 class Histogram:
-    """Running count/sum/min/max of observed values per label set."""
+    """Running count/sum/min/max of observed values per label set.
+
+    With explicit ``buckets`` (finite, strictly increasing upper
+    bounds) the histogram additionally counts observations per bucket
+    — cumulatively at exposition time, Prometheus-style — and can
+    estimate arbitrary quantiles from those counts.
+    """
 
     kind = "histogram"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
         self.name = name
+        self.buckets: Optional[Tuple[float, ...]] = (
+            None if buckets is None else _normalize_buckets(buckets)
+        )
         self._series: Dict[LabelKey, _HistogramSeries] = {}
 
     def _series_for(self, labels: Dict[str, Any]) -> _HistogramSeries:
         key = _label_key(labels)
         series = self._series.get(key)
         if series is None:
-            series = self._series[key] = _HistogramSeries()
+            n_buckets = len(self.buckets) if self.buckets is not None else 0
+            series = self._series[key] = _HistogramSeries(n_buckets)
         return series
 
     def observe(self, value: float, **labels: Any) -> None:
-        self._series_for(labels).add(float(value))
+        self._series_for(labels).add(float(value), self.buckets)
 
     def observe_many(self, values: Iterable[float], **labels: Any) -> None:
         """Vectorized bulk observation (group sizes, per-stream factors)."""
@@ -144,6 +257,11 @@ class Histogram:
         series.sum += float(arr.sum())
         series.min = min(series.min, float(arr.min()))
         series.max = max(series.max, float(arr.max()))
+        if series.bucket_counts is not None:
+            indices = np.searchsorted(np.asarray(self.buckets), arr, side="left")
+            counts = np.bincount(indices, minlength=len(series.bucket_counts))
+            for i, count in enumerate(counts):
+                series.bucket_counts[i] += int(count)
 
     def stats(self, **labels: Any) -> Dict[str, float]:
         key = _label_key(labels)
@@ -158,9 +276,35 @@ class Histogram:
             "mean": s.mean,
         }
 
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Estimate the ``q``-quantile from this series' bucket counts.
+
+        Linear interpolation inside the bucket holding the target rank,
+        clamped to the observed min/max.  Requires the histogram to
+        have been registered with buckets.
+        """
+        if self.buckets is None:
+            raise ObservabilityError(
+                f"histogram {self.name}: quantile needs fixed buckets"
+            )
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        cumulative = [
+            (bound, cum)
+            for bound, (_, cum) in zip(
+                tuple(self.buckets) + (float("inf"),),
+                series.cumulative_buckets(self.buckets),
+            )
+        ]
+        return quantile_from_buckets(
+            cumulative, q, lo=series.min, hi=series.max
+        )
+
     def snapshot(self) -> List[Dict[str, Any]]:
-        return [
-            {
+        out: List[Dict[str, Any]] = []
+        for key, s in sorted(self._series.items()):
+            entry: Dict[str, Any] = {
                 "labels": dict(key),
                 "count": s.count,
                 "sum": s.sum,
@@ -168,8 +312,10 @@ class Histogram:
                 "max": s.max,
                 "mean": s.mean,
             }
-            for key, s in sorted(self._series.items())
-        ]
+            if self.buckets is not None:
+                entry["buckets"] = s.cumulative_buckets(self.buckets)
+            out.append(entry)
+        return out
 
 
 class MetricsRegistry:
@@ -196,8 +342,22 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Histogram(name, buckets=buckets)
+            return metric
+        if not isinstance(metric, Histogram):
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        if buckets is not None and metric.buckets != _normalize_buckets(buckets):
+            raise ObservabilityError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return metric
 
     def names(self) -> List[str]:
         return sorted(self._metrics)
@@ -230,6 +390,8 @@ class MetricsRegistry:
                 if payload["kind"] == "histogram":
                     for stat in ("count", "sum", "min", "max", "mean"):
                         entry[stat] = series[stat]
+                    if "buckets" in series:
+                        entry["buckets"] = [list(pair) for pair in series["buckets"]]
                 else:
                     entry["value"] = series["value"]
                 out.append(entry)
@@ -239,26 +401,44 @@ class MetricsRegistry:
         """Prometheus text-exposition dump (the ``/metrics`` endpoint).
 
         Metric names are sanitized to the Prometheus charset (dots
-        become underscores); counters and gauges emit one sample per
-        label set, histograms emit ``_count``/``_sum``/``_min``/``_max``
-        series.  Output is deterministically ordered, like every other
+        become underscores) and label values are escaped per the text
+        format.  Counters and gauges emit one sample per label set.
+        Bucketed histograms emit the native Prometheus histogram
+        family — cumulative ``_bucket{le=...}`` series (ending at
+        ``+Inf``), ``_sum`` and ``_count`` — plus ``_min``/``_max``
+        gauges; bucketless histograms emit
+        ``_count``/``_sum``/``_min``/``_max`` gauge series.  Every
+        emitted series name is announced by its own ``# TYPE`` line,
+        and output is deterministically ordered, like every other
         snapshot form in this module.
         """
         lines: List[str] = []
-        for name, payload in self.snapshot().items():
+        for name, metric in sorted(self._metrics.items()):
             base = _prometheus_name(name)
-            kind = payload["kind"]
-            if kind == "histogram":
-                lines.append(f"# TYPE {base}_count gauge")
-                for series in payload["series"]:
-                    labels = _prometheus_labels(series["labels"])
-                    for stat in ("count", "sum", "min", "max"):
-                        lines.append(
-                            f"{base}_{stat}{labels} {series[stat]!r}"
-                        )
+            series_list = metric.snapshot()
+            if metric.kind == "histogram":
+                if getattr(metric, "buckets", None) is not None:
+                    lines.append(f"# TYPE {base} histogram")
+                    for series in series_list:
+                        for le, cum in series["buckets"]:
+                            labels = _prometheus_labels(
+                                {**series["labels"], "le": le}
+                            )
+                            lines.append(f"{base}_bucket{labels} {cum!r}")
+                        labels = _prometheus_labels(series["labels"])
+                        lines.append(f"{base}_sum{labels} {series['sum']!r}")
+                        lines.append(f"{base}_count{labels} {series['count']!r}")
+                    extra_stats: Tuple[str, ...] = ("min", "max")
+                else:
+                    extra_stats = ("count", "sum", "min", "max")
+                for stat in extra_stats:
+                    lines.append(f"# TYPE {base}_{stat} gauge")
+                    for series in series_list:
+                        labels = _prometheus_labels(series["labels"])
+                        lines.append(f"{base}_{stat}{labels} {series[stat]!r}")
             else:
-                lines.append(f"# TYPE {base} {kind}")
-                for series in payload["series"]:
+                lines.append(f"# TYPE {base} {metric.kind}")
+                for series in series_list:
                     labels = _prometheus_labels(series["labels"])
                     lines.append(f"{base}{labels} {series['value']!r}")
         return "\n".join(lines) + ("\n" if lines else "")
@@ -284,10 +464,20 @@ def _prometheus_name(name: str) -> str:
     return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label escaping: ``\\``, ``"``, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _prometheus_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{_prometheus_name(k)}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(
+        f'{_prometheus_name(k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
     return "{" + inner + "}"
 
 
@@ -308,6 +498,9 @@ class _NullHistogram(Histogram):
     def observe_many(self, values: Iterable[float], **labels: Any) -> None:
         pass
 
+    def quantile(self, q: float, **labels: Any) -> float:
+        return 0.0
+
 
 _NULL_COUNTER = _NullCounter("null")
 _NULL_GAUGE = _NullGauge("null")
@@ -325,7 +518,9 @@ class NullMetrics(MetricsRegistry):
     def gauge(self, name: str) -> Gauge:
         return _NULL_GAUGE
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
         return _NULL_HISTOGRAM
 
 
@@ -351,7 +546,9 @@ def merge_flat_snapshots(
             key = (entry["metric"], entry["kind"], entry["labels"])
             current = merged.get(key)
             if current is None:
-                merged[key] = dict(entry)
+                current = merged[key] = dict(entry)
+                if "buckets" in entry:
+                    current["buckets"] = [list(pair) for pair in entry["buckets"]]
             elif entry["kind"] == "counter":
                 current["value"] += entry["value"]
             elif entry["kind"] == "gauge":
@@ -364,6 +561,23 @@ def merge_flat_snapshots(
                 current["mean"] = (
                     current["sum"] / current["count"] if current["count"] else 0.0
                 )
+                if "buckets" in entry or "buckets" in current:
+                    # Cumulative counts over identical bounds add
+                    # elementwise; key by le so partial overlap merges.
+                    pooled: Dict[str, float] = {
+                        le: cum for le, cum in current.get("buckets", [])
+                    }
+                    for le, cum in entry.get("buckets", []):
+                        pooled[le] = pooled.get(le, 0) + cum
+                    current["buckets"] = [
+                        [le, pooled[le]]
+                        for le in sorted(
+                            pooled,
+                            key=lambda le: (
+                                float("inf") if le == "+Inf" else float(le)
+                            ),
+                        )
+                    ]
     return [merged[key] for key in sorted(merged)]
 
 

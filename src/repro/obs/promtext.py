@@ -1,0 +1,254 @@
+"""Minimal Prometheus text-exposition parser and format checker.
+
+Two consumers share this module:
+
+* ``repro loadtest`` scrapes a service's ``/metrics`` endpoint before
+  and after a run and diffs counter/bucket samples to compute coalesce
+  and cache ratios and server-side latency quantiles;
+* the test suite uses :func:`check_exposition` as a conformance gate on
+  everything :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`
+  emits — names in the legal charset, label values correctly escaped,
+  float-parseable sample values, and a ``# TYPE`` announcement for
+  every emitted series family.
+
+The parser covers the subset of the format the registry produces (and
+Prometheus itself scrapes): ``# TYPE``/comment lines and
+``name{label="value",...} value`` samples, with ``\\``, ``\"`` and
+``\n`` escapes in label values.  Timestamps are not supported; the
+registry never emits them.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ObservabilityError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: TYPE values the format allows.
+_TYPES = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+#: Suffixes that belong to a ``# TYPE <base> histogram`` family.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+@dataclass(frozen=True)
+class PromSample:
+    """One parsed sample line."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+    def labels_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+    def key(self) -> str:
+        """Stable ``name{k=v,...}`` identity for diffing two scrapes."""
+        if not self.labels:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"{self.name}{{{inner}}}"
+
+
+def _parse_labels(text: str, lineno: int) -> Tuple[Tuple[str, str], ...]:
+    """Parse the ``k="v",...`` body between braces (escapes included)."""
+    labels: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(text):
+        eq = text.find("=", i)
+        if eq < 0:
+            raise ObservabilityError(f"line {lineno}: malformed label pair")
+        name = text[i:eq]
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(
+                f"line {lineno}: invalid label name {name!r}"
+            )
+        if eq + 1 >= len(text) or text[eq + 1] != '"':
+            raise ObservabilityError(
+                f"line {lineno}: label value must be double-quoted"
+            )
+        value_chars: List[str] = []
+        i = eq + 2
+        while True:
+            if i >= len(text):
+                raise ObservabilityError(
+                    f"line {lineno}: unterminated label value"
+                )
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= len(text):
+                    raise ObservabilityError(
+                        f"line {lineno}: dangling escape in label value"
+                    )
+                esc = text[i + 1]
+                if esc == "n":
+                    value_chars.append("\n")
+                elif esc in ('"', "\\"):
+                    value_chars.append(esc)
+                else:
+                    raise ObservabilityError(
+                        f"line {lineno}: unknown escape \\{esc} in label value"
+                    )
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            else:
+                value_chars.append(ch)
+                i += 1
+        labels.append((name, "".join(value_chars)))
+        if i < len(text):
+            if text[i] != ",":
+                raise ObservabilityError(
+                    f"line {lineno}: expected ',' between labels"
+                )
+            i += 1
+    return tuple(labels)
+
+
+def parse_exposition(
+    text: str,
+) -> Tuple[List[PromSample], Dict[str, str]]:
+    """Parse one exposition into (samples, declared TYPE map).
+
+    Raises :class:`~repro.errors.ObservabilityError` on any line that
+    is not a comment, a well-formed ``# TYPE`` declaration, or a
+    well-formed sample.
+    """
+    samples: List[PromSample] = []
+    types: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ObservabilityError(
+                        f"line {lineno}: malformed TYPE line"
+                    )
+                _, _, name, kind = parts
+                if not _NAME_RE.match(name):
+                    raise ObservabilityError(
+                        f"line {lineno}: invalid metric name {name!r}"
+                    )
+                if kind not in _TYPES:
+                    raise ObservabilityError(
+                        f"line {lineno}: unknown metric type {kind!r}"
+                    )
+                types[name] = kind
+            continue  # other comments (# HELP, ...) pass through
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ObservabilityError(f"line {lineno}: unbalanced braces")
+            name = line[:brace]
+            labels = _parse_labels(line[brace + 1 : close], lineno)
+            rest = line[close + 1 :].strip()
+        else:
+            name, _, rest = line.partition(" ")
+            labels = ()
+            rest = rest.strip()
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(
+                f"line {lineno}: invalid metric name {name!r}"
+            )
+        if not rest:
+            raise ObservabilityError(f"line {lineno}: sample has no value")
+        try:
+            value = float(rest)
+        except ValueError as error:
+            raise ObservabilityError(
+                f"line {lineno}: unparseable value {rest!r}"
+            ) from error
+        samples.append(PromSample(name=name, labels=labels, value=value))
+    return samples, types
+
+
+def check_exposition(text: str, *, require_type: bool = True) -> List[PromSample]:
+    """Parse and conformance-check one exposition; return its samples.
+
+    Beyond parsing, asserts (when ``require_type``) that every sample
+    belongs to a declared family: either its exact name has a ``# TYPE``
+    line, or it is a ``_bucket``/``_sum``/``_count`` series of a name
+    declared as a histogram.
+    """
+    samples, types = parse_exposition(text)
+    if require_type:
+        for sample in samples:
+            if sample.name in types:
+                continue
+            for suffix in _HISTOGRAM_SUFFIXES:
+                base = sample.name[: -len(suffix)]
+                if (
+                    sample.name.endswith(suffix)
+                    and types.get(base) == "histogram"
+                ):
+                    break
+            else:
+                raise ObservabilityError(
+                    f"sample {sample.name!r} has no # TYPE declaration"
+                )
+    return samples
+
+
+def sample_map(samples: List[PromSample]) -> Dict[str, float]:
+    """Flatten samples to ``{canonical-key: value}`` for scrape diffs."""
+    return {sample.key(): sample.value for sample in samples}
+
+
+def sum_by_name(samples: List[PromSample], name: str) -> float:
+    """Total of every sample with ``name``, across all label sets."""
+    return sum(s.value for s in samples if s.name == name)
+
+
+def bucket_cumulative(
+    samples: List[PromSample], base_name: str
+) -> List[Tuple[float, float]]:
+    """Pooled cumulative ``(upper_bound, count)`` pairs of one histogram.
+
+    Sums the ``<base>_bucket`` series across non-``le`` label sets (the
+    loadtest wants one end-to-end distribution, not one per route) and
+    returns bounds sorted ascending with ``+Inf`` last — the exact input
+    :func:`~repro.obs.metrics.quantile_from_buckets` takes.
+    """
+    pooled: Dict[float, float] = {}
+    for sample in samples:
+        if sample.name != f"{base_name}_bucket":
+            continue
+        le = sample.labels_dict().get("le")
+        if le is None:
+            raise ObservabilityError(
+                f"{base_name}_bucket sample is missing its 'le' label"
+            )
+        bound = math.inf if le == "+Inf" else float(le)
+        pooled[bound] = pooled.get(bound, 0.0) + sample.value
+    return [(bound, pooled[bound]) for bound in sorted(pooled)]
+
+
+def diff_cumulative(
+    after: List[Tuple[float, float]],
+    before: List[Tuple[float, float]],
+) -> List[Tuple[float, float]]:
+    """Bucket-wise ``after - before`` of two cumulative scrapes."""
+    base: Dict[float, float] = dict(before)
+    return [
+        (bound, count - base.get(bound, 0.0)) for bound, count in after
+    ]
+
+
+__all__ = [
+    "PromSample",
+    "parse_exposition",
+    "check_exposition",
+    "sample_map",
+    "sum_by_name",
+    "bucket_cumulative",
+    "diff_cumulative",
+]

@@ -6,7 +6,12 @@ single-flight coalescing, and run-cache reuse.  See
 :mod:`repro.serve.server` for the request-path layering.
 """
 
-from .admission import INFLIGHT_METRIC, QUEUE_DEPTH_METRIC, ServiceQueue
+from .admission import (
+    INFLIGHT_METRIC,
+    QUEUE_DEPTH_METRIC,
+    REJECTED_METRIC,
+    ServiceQueue,
+)
 from .protocol import (
     MAX_BODY_BYTES,
     encode,
@@ -26,15 +31,50 @@ from .server import (
     run_service,
 )
 from .singleflight import COALESCED_METRIC, SingleFlight
+from .telemetry import (
+    COALESCE_WAIT_METRIC,
+    OUTCOME_BAD_REQUEST,
+    OUTCOME_CACHED,
+    OUTCOME_COALESCED,
+    OUTCOME_DRAINING,
+    OUTCOME_ERROR,
+    OUTCOME_REJECTED,
+    OUTCOME_SIMULATED,
+    OUTCOME_TIMEOUT,
+    QUEUE_WAIT_METRIC,
+    SIMULATE_METRIC,
+    TOTAL_METRIC,
+    AccessLog,
+    RequestContext,
+    RequestIds,
+    RequestJournal,
+)
 
 __all__ = [
     "COALESCED_METRIC",
+    "COALESCE_WAIT_METRIC",
     "INFLIGHT_METRIC",
     "MAX_BODY_BYTES",
+    "OUTCOME_BAD_REQUEST",
+    "OUTCOME_CACHED",
+    "OUTCOME_COALESCED",
+    "OUTCOME_DRAINING",
+    "OUTCOME_ERROR",
+    "OUTCOME_REJECTED",
+    "OUTCOME_SIMULATED",
+    "OUTCOME_TIMEOUT",
     "QUEUE_DEPTH_METRIC",
+    "QUEUE_WAIT_METRIC",
+    "REJECTED_METRIC",
     "REQUESTS_METRIC",
+    "SIMULATE_METRIC",
     "SIMULATIONS_METRIC",
+    "TOTAL_METRIC",
+    "AccessLog",
+    "RequestContext",
     "RequestHandler",
+    "RequestIds",
+    "RequestJournal",
     "ServiceConfig",
     "ServiceQueue",
     "ServiceServer",

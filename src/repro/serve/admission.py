@@ -16,6 +16,7 @@ consistent.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, List, Optional
 
 from ..errors import (
@@ -28,17 +29,30 @@ from ..obs.metrics import MetricsRegistry
 QUEUE_DEPTH_METRIC = "serve.queue.depth"
 INFLIGHT_METRIC = "serve.inflight"
 
+#: Counter of rejected submissions, labelled ``reason=overload|draining``
+#: so a load test can tell back-pressure from shutdown.
+REJECTED_METRIC = "serve.rejected"
+
 
 class _Task:
     """One admitted unit of work and its eventual outcome."""
 
-    __slots__ = ("fn", "done", "value", "error")
+    __slots__ = (
+        "fn",
+        "done",
+        "value",
+        "error",
+        "submitted_at",
+        "queue_wait_s",
+    )
 
     def __init__(self, fn: Callable[[], Any]):
         self.fn = fn
         self.done = threading.Event()
         self.value: Any = None
         self.error: Optional[BaseException] = None
+        self.submitted_at = time.perf_counter()
+        self.queue_wait_s: Optional[float] = None
 
 
 class ServiceQueue:
@@ -51,6 +65,7 @@ class ServiceQueue:
         queue_depth: int = 8,
         registry: Optional[MetricsRegistry] = None,
         retry_after_s: float = 1.0,
+        observe_wait: Optional[Callable[[float], None]] = None,
     ):
         if workers < 1:
             raise ServiceUnavailableError(f"need at least 1 worker, got {workers}")
@@ -61,6 +76,7 @@ class ServiceQueue:
         self.queue_depth = queue_depth
         self.retry_after_s = retry_after_s
         self._registry = registry
+        self._observe_wait = observe_wait
         self._cond = threading.Condition()
         self._pending: List[_Task] = []
         self._inflight = 0
@@ -88,14 +104,22 @@ class ServiceQueue:
         with self._cond:
             return self._inflight
 
+    def _count_rejection(self, reason: str) -> None:
+        """Rejection counter; always called with ``self._cond`` held."""
+        if self._registry is not None:
+            self._registry.counter(REJECTED_METRIC).inc(reason=reason)
+
     def submit(self, fn: Callable[[], Any]) -> _Task:
         """Admit ``fn`` or reject it if the queue is full / closing."""
         with self._cond:
             if self._closed:
+                self._count_rejection("draining")
                 raise ServiceUnavailableError("service is draining; not accepting work")
             if len(self._pending) >= self.queue_depth:
+                self._count_rejection("overload")
                 raise ServiceOverloadError(
-                    f"admission queue full ({self.queue_depth} waiting)",
+                    f"admission queue full ({len(self._pending)} waiting, "
+                    f"limit {self.queue_depth})",
                     retry_after_s=self.retry_after_s,
                 )
             task = _Task(fn)
@@ -104,15 +128,14 @@ class ServiceQueue:
             self._cond.notify()
         return task
 
-    def run(self, fn: Callable[[], Any], *, timeout_s: Optional[float] = None) -> Any:
-        """Admit ``fn``, block until it finishes, and return its result.
+    def wait(self, task: _Task, *, timeout_s: Optional[float] = None) -> Any:
+        """Block until ``task`` finishes; return its result or re-raise.
 
         Raises :class:`~repro.errors.ServiceTimeoutError` if the task
         does not complete within ``timeout_s``.  The task itself is not
         cancelled — workers are cooperative — but the caller stops
         waiting and the eventual result still lands in the run cache.
         """
-        task = self.submit(fn)
         if not task.done.wait(timeout_s):
             raise ServiceTimeoutError(
                 f"request did not complete within {timeout_s}s"
@@ -120,6 +143,10 @@ class ServiceQueue:
         if task.error is not None:
             raise task.error
         return task.value
+
+    def run(self, fn: Callable[[], Any], *, timeout_s: Optional[float] = None) -> Any:
+        """Admit ``fn``, block until it finishes, and return its result."""
+        return self.wait(self.submit(fn), timeout_s=timeout_s)
 
     def _worker(self) -> None:
         while True:
@@ -129,8 +156,13 @@ class ServiceQueue:
                 if not self._pending and self._closed:
                     return
                 task = self._pending.pop(0)
+                task.queue_wait_s = time.perf_counter() - task.submitted_at
                 self._inflight += 1
                 self._publish()
+                if self._observe_wait is not None:
+                    # Under the cond lock, like the gauges: the plain
+                    # histogram instrument must not see races.
+                    self._observe_wait(task.queue_wait_s)
             try:
                 task.value = task.fn()
             except BaseException as error:  # noqa: BLE001 — delivered to waiter

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import signal
 import threading
+import time
+import urllib.parse
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -38,10 +40,14 @@ from ..errors import (
     ServiceUnavailableError,
 )
 from ..harness.parallel import SweepFailure, run_sweep
-from ..obs.metrics import MetricsRegistry, global_metrics
+from ..obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    global_metrics,
+)
 from ..phases import RunReport
 from ..request import RunRequest
-from .admission import ServiceQueue
+from .admission import REJECTED_METRIC, ServiceQueue
 from .protocol import (
     MAX_BODY_BYTES,
     encode,
@@ -50,6 +56,24 @@ from .protocol import (
     run_response,
 )
 from .singleflight import SingleFlight
+from .telemetry import (
+    COALESCE_WAIT_METRIC,
+    OUTCOME_BAD_REQUEST,
+    OUTCOME_CACHED,
+    OUTCOME_COALESCED,
+    OUTCOME_DRAINING,
+    OUTCOME_ERROR,
+    OUTCOME_REJECTED,
+    OUTCOME_SIMULATED,
+    OUTCOME_TIMEOUT,
+    QUEUE_WAIT_METRIC,
+    SIMULATE_METRIC,
+    TOTAL_METRIC,
+    AccessLog,
+    RequestContext,
+    RequestIds,
+    RequestJournal,
+)
 
 REQUESTS_METRIC = "serve.requests"
 SIMULATIONS_METRIC = "serve.simulations"
@@ -67,6 +91,15 @@ class ServiceConfig:
     retry_after_s: float = 1.0
     run_isolated: bool = False
     drain_timeout_s: float = 30.0
+    #: Master switch for request-level telemetry (journal + stage
+    #: latency histograms).  Off, the service records only the PR-4
+    #: counters/gauges — and responses are byte-identical either way.
+    telemetry: bool = True
+    #: JSON-lines access log destination (a path, or "-" for stderr);
+    #: None (the default) disables access logging entirely.
+    access_log: Optional[str] = None
+    #: Ring-buffer capacity of the /debug/requests journal.
+    journal_size: int = 256
 
 
 def _isolated_run(request: RunRequest) -> RunReport:
@@ -83,12 +116,47 @@ class SimulationService:
         self.config = config if config is not None else ServiceConfig()
         self.registry = MetricsRegistry()
         self._metrics_lock = threading.Lock()
-        self._singleflight = SingleFlight(registry=self.registry)
+        self.telemetry = self.config.telemetry
+        self._request_ids = RequestIds()
+        self.journal = (
+            RequestJournal(self.config.journal_size) if self.telemetry else None
+        )
+        self.access_log = (
+            AccessLog(self.config.access_log)
+            if self.config.access_log is not None
+            else None
+        )
+        # Pre-register every service instrument so concurrent first
+        # touches never race on the registry's get-or-create dict.
+        self.registry.counter(REQUESTS_METRIC)
+        self.registry.counter(SIMULATIONS_METRIC)
+        self.registry.counter(REJECTED_METRIC)
+        if self.telemetry:
+            for name in (
+                QUEUE_WAIT_METRIC,
+                SIMULATE_METRIC,
+                TOTAL_METRIC,
+                COALESCE_WAIT_METRIC,
+            ):
+                self.registry.histogram(name, buckets=DEFAULT_LATENCY_BUCKETS)
+        self._singleflight = SingleFlight(
+            registry=self.registry,
+            observe_wait=(
+                self._make_wait_observer(COALESCE_WAIT_METRIC)
+                if self.telemetry
+                else None
+            ),
+        )
         self._queue = ServiceQueue(
             workers=self.config.workers,
             queue_depth=self.config.queue_depth,
             registry=self.registry,
             retry_after_s=self.config.retry_after_s,
+            observe_wait=(
+                self._make_wait_observer(QUEUE_WAIT_METRIC)
+                if self.telemetry
+                else None
+            ),
         )
         self._draining = False
 
@@ -97,27 +165,105 @@ class SimulationService:
         with self._metrics_lock:
             self.registry.counter(name).inc(**labels)
 
+    def _observe_latency(self, name: str, seconds: float) -> None:
+        with self._metrics_lock:
+            self.registry.histogram(name).observe(seconds)
+
+    def _make_wait_observer(self, name: str):
+        return lambda seconds: self._observe_latency(name, seconds)
+
+    # -- per-request telemetry ------------------------------------------
+    def begin_request(self) -> RequestContext:
+        """Admit one HTTP request: assign its ID, stamp its start."""
+        return RequestContext(
+            request_id=self._request_ids.next_id(),
+            started=time.perf_counter(),
+        )
+
+    def finish_request(
+        self,
+        ctx: RequestContext,
+        *,
+        method: str,
+        path: str,
+        status: int,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Close out one request: histogram, journal, access log."""
+        total_s = time.perf_counter() - ctx.started
+        if error is not None:
+            ctx.outcome = _error_outcome(error)
+        elif ctx.outcome is None:
+            ctx.outcome = OUTCOME_ERROR
+        record = ctx.record(status=status, total_s=total_s)
+        if self.telemetry:
+            self._observe_latency(TOTAL_METRIC, total_s)
+            self.journal.append(record)
+        if self.access_log is not None:
+            fields = {k: v for k, v in record.items() if k != "status"}
+            self.access_log.write(method, path, status, **fields)
+
+    def log_access(self, method: str, path: str, status: int) -> None:
+        """Access-log one non-/run request (no journal entry)."""
+        if self.access_log is not None:
+            self.access_log.write(method, path, status)
+
+    def journal_payload(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The ``GET /debug/requests`` body."""
+        if self.journal is None:
+            return {"enabled": False, "capacity": 0, "requests": []}
+        return {
+            "enabled": True,
+            "capacity": self.journal.capacity,
+            "requests": self.journal.tail(limit),
+        }
+
     # -- request path ---------------------------------------------------
-    def handle_run(self, request: RunRequest) -> Dict[str, Any]:
+    def handle_run(
+        self, request: RunRequest, ctx: Optional[RequestContext] = None
+    ) -> Dict[str, Any]:
         """Execute (or coalesce, or reject) one validated run request."""
         from ..algorithms.runner import get_cached_report
 
+        if ctx is not None:
+            ctx.cache_key = encode(request.to_dict()).decode("utf-8")
         if self._draining:
+            self._count(REJECTED_METRIC, reason="draining")
             raise ServiceUnavailableError("service is draining; not accepting work")
         self._count(REQUESTS_METRIC, route="run")
         report = get_cached_report(request)
-        if report is None:
-            timeout_s = self.config.request_timeout_s
+        if report is not None:
+            if ctx is not None:
+                ctx.outcome = OUTCOME_CACHED
+        else:
             report = self._singleflight.do(
                 request.cache_key(),
-                lambda: self._queue.run(
-                    lambda: self._simulate(request), timeout_s=timeout_s
-                ),
-                timeout_s=timeout_s,
+                lambda: self._run_queued(request, ctx),
+                timeout_s=self.config.request_timeout_s,
             )
+            if ctx is not None and ctx.outcome is None:
+                # Our closure never ran: a concurrent leader's did.
+                ctx.outcome = OUTCOME_COALESCED
         return run_response(request, report)
 
-    def _simulate(self, request: RunRequest) -> RunReport:
+    def _run_queued(
+        self, request: RunRequest, ctx: Optional[RequestContext]
+    ) -> RunReport:
+        """Single-flight leader body: admit to the queue and wait."""
+        if ctx is not None:
+            ctx.outcome = OUTCOME_SIMULATED
+        task = self._queue.submit(lambda: self._simulate(request, ctx))
+        try:
+            return self._queue.wait(
+                task, timeout_s=self.config.request_timeout_s
+            )
+        finally:
+            if ctx is not None:
+                ctx.queue_wait_s = task.queue_wait_s
+
+    def _simulate(
+        self, request: RunRequest, ctx: Optional[RequestContext] = None
+    ) -> RunReport:
         """Worker-side execution of one admitted request."""
         from ..algorithms.runner import (
             execute_request,
@@ -131,10 +277,16 @@ class SimulationService:
         if report is not None:
             return report
         self._count(SIMULATIONS_METRIC)
+        started = time.perf_counter()
         if self.config.run_isolated:
             report = self._simulate_isolated(request)
         else:
             report = execute_request(request).report
+        simulate_s = time.perf_counter() - started
+        if ctx is not None:
+            ctx.simulate_s = simulate_s
+        if self.telemetry:
+            self._observe_latency(SIMULATE_METRIC, simulate_s)
         put_cached_report(request, report)
         return report
 
@@ -180,6 +332,11 @@ class SimulationService:
             timeout_s = self.config.drain_timeout_s
         return self._queue.drain(timeout_s=timeout_s)
 
+    def close(self) -> None:
+        """Release operator-facing resources (the access-log stream)."""
+        if self.access_log is not None:
+            self.access_log.close()
+
 
 #: (exception class -> HTTP status, stable error code); checked in order.
 _ERROR_MAP: Tuple[Tuple[type, int, str], ...] = (
@@ -188,6 +345,22 @@ _ERROR_MAP: Tuple[Tuple[type, int, str], ...] = (
     (ServiceUnavailableError, 503, "draining"),
     (ServiceTimeoutError, 504, "timeout"),
 )
+
+#: (exception class -> journal outcome); checked in order.
+_OUTCOME_MAP: Tuple[Tuple[type, str], ...] = (
+    (ProtocolError, OUTCOME_BAD_REQUEST),
+    (ServiceOverloadError, OUTCOME_REJECTED),
+    (ServiceUnavailableError, OUTCOME_DRAINING),
+    (ServiceTimeoutError, OUTCOME_TIMEOUT),
+    (ValueError, OUTCOME_BAD_REQUEST),
+)
+
+
+def _error_outcome(error: BaseException) -> str:
+    for cls, outcome in _OUTCOME_MAP:
+        if isinstance(error, cls):
+            return outcome
+    return OUTCOME_ERROR
 
 
 class RequestHandler(BaseHTTPRequestHandler):
@@ -221,7 +394,9 @@ class RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, error: BaseException) -> None:
+    def _error_response(
+        self, error: BaseException
+    ) -> Tuple[int, bytes, Tuple[Tuple[str, str], ...]]:
         for cls, status, code in _ERROR_MAP:
             if isinstance(error, cls):
                 break
@@ -232,21 +407,33 @@ class RequestHandler(BaseHTTPRequestHandler):
         if isinstance(error, ServiceOverloadError):
             payload["retry_after_s"] = error.retry_after_s
             extra = (("Retry-After", f"{error.retry_after_s:g}"),)
-        self._send(status, encode(payload), extra_headers=extra)
+        return status, encode(payload), extra
+
+    def _send_error(self, error: BaseException) -> None:
+        status, body, extra = self._error_response(error)
+        self._send(status, body, extra_headers=extra)
 
     def _not_found(self) -> None:
         self._send(
             404,
             encode(error_payload(404, "not-found", f"no route {self.path!r}")),
         )
+        self.service.log_access("GET", self.path, 404)
 
     # -- verbs ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — http.server API
-        if self.path == "/healthz":
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path == "/healthz":
             self._send(200, encode(self.service.health()))
-        elif self.path == "/metrics":
+            self.service.log_access("GET", parsed.path, 200)
+        elif parsed.path == "/metrics":
             body = self.service.metrics_text().encode("utf-8")
             self._send(200, body, content_type="text/plain; charset=utf-8")
+            self.service.log_access("GET", parsed.path, 200)
+        elif parsed.path == "/debug/requests":
+            limit = _journal_limit(parsed.query)
+            self._send(200, encode(self.service.journal_payload(limit)))
+            self.service.log_access("GET", parsed.path, 200)
         else:
             self._not_found()
 
@@ -254,6 +441,9 @@ class RequestHandler(BaseHTTPRequestHandler):
         if self.path != "/run":
             self._not_found()
             return
+        ctx = self.service.begin_request()
+        rid_header = (("X-Request-Id", ctx.request_id),)
+        error: Optional[BaseException] = None
         try:
             length = int(self.headers.get("Content-Length", "0"))
             if length > MAX_BODY_BYTES:
@@ -261,11 +451,28 @@ class RequestHandler(BaseHTTPRequestHandler):
                     f"request body too large ({length} bytes > {MAX_BODY_BYTES})"
                 )
             request = parse_run_request(self.rfile.read(length))
-            response = self.service.handle_run(request)
-        except (ReproError, ValueError) as error:
-            self._send_error(error)
-            return
-        self._send(200, encode(response))
+            response = self.service.handle_run(request, ctx)
+        except (ReproError, ValueError) as exc:
+            error = exc
+            status, body, extra = self._error_response(exc)
+        else:
+            status, body, extra = 200, encode(response), ()
+        # Journal before the response bytes leave: a client that has
+        # seen this response will find its record at /debug/requests.
+        self.service.finish_request(
+            ctx, method="POST", path="/run", status=status, error=error
+        )
+        self._send(status, body, extra_headers=extra + rid_header)
+
+
+def _journal_limit(query: str) -> Optional[int]:
+    """Parse ``?n=`` from a ``/debug/requests`` query string."""
+    for value in urllib.parse.parse_qs(query).get("n", []):
+        try:
+            return max(0, int(value))
+        except ValueError:
+            continue
+    return None
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -317,6 +524,7 @@ def run_service(config: ServiceConfig) -> int:
             signal.signal(sig, handler)
         httpd.server_close()
     drained = service.drain()
+    service.close()
     print(
         "repro serve drained cleanly" if drained else "repro serve drain timed out",
         flush=True,

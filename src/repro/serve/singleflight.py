@@ -15,6 +15,7 @@ shared run cache serves everyone else.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Dict, Hashable, Optional
 
 from ..errors import ServiceTimeoutError
@@ -39,10 +40,17 @@ class _Call:
 class SingleFlight:
     """Per-key duplicate-call suppression for concurrent workloads."""
 
-    def __init__(self, *, registry: Optional[MetricsRegistry] = None):
+    def __init__(
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        observe_wait: Optional[Callable[[float], None]] = None,
+    ):
         self._lock = threading.Lock()
         self._calls: Dict[Hashable, _Call] = {}
         self._registry = registry
+        #: Called with each follower's wait-for-leader duration (s).
+        self._observe_wait = observe_wait
 
     def waiters(self, key: Hashable) -> int:
         """How many followers are currently attached to ``key``'s leader."""
@@ -88,10 +96,13 @@ class SingleFlight:
             if call.error is not None:
                 raise call.error
             return call.value
+        wait_started = time.perf_counter()
         if not call.done.wait(timeout_s):
             raise ServiceTimeoutError(
                 f"coalesced request did not complete within {timeout_s}s"
             )
+        if self._observe_wait is not None:
+            self._observe_wait(time.perf_counter() - wait_started)
         if call.error is not None:
             raise call.error
         return call.value

@@ -1,0 +1,276 @@
+"""Tests for the loadtest harness (repro.bench.loadtest).
+
+Unit-level: the zipf schedule is deterministic and skewed; artifacts
+round-trip; the compare gate trips on rate/latency regressions and
+refuses mismatched workloads; SLO parsing and evaluation.
+Integration-level: one tiny closed-loop run against an in-process
+server produces a coherent artifact.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.loadtest import (
+    LoadtestConfig,
+    ServeArtifact,
+    build_population,
+    build_schedule,
+    compare_serve_artifacts,
+    evaluate_slo,
+    parse_slo,
+    run_loadtest,
+    summarize_results,
+    zipf_weights,
+    RequestResult,
+    SERVE_KIND,
+)
+from repro.errors import BenchError
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = LoadtestConfig()
+        assert config.mode == "closed"
+        assert config.requests == 120
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(BenchError):
+            LoadtestConfig(mode="sideways")
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(BenchError):
+            LoadtestConfig(requests=0)
+        with pytest.raises(BenchError):
+            LoadtestConfig(clients=0)
+        with pytest.raises(BenchError):
+            LoadtestConfig(zipf_s=-1.0)
+
+    def test_round_trips_through_dict(self):
+        config = LoadtestConfig(requests=10, keys=3, zipf_s=0.5)
+        assert LoadtestConfig.from_dict(config.to_dict()) == config
+
+
+class TestSchedule:
+    def test_population_truncates_to_keys(self):
+        config = LoadtestConfig(keys=4)
+        population = build_population(config)
+        assert len(population) == 4
+        labels = [r.label() for r in population]
+        assert len(set(labels)) == 4  # all distinct cells
+
+    def test_schedule_is_seed_deterministic(self):
+        config = LoadtestConfig(requests=200, keys=5, seed=7)
+        first = build_schedule(config, 5)
+        second = build_schedule(config, 5)
+        np.testing.assert_array_equal(first, second)
+        different = build_schedule(
+            LoadtestConfig(requests=200, keys=5, seed=8), 5
+        )
+        assert not np.array_equal(first, different)
+
+    def test_zipf_skews_toward_low_ranks(self):
+        weights = zipf_weights(10, 1.1)
+        assert weights[0] > weights[-1]
+        assert weights.sum() == pytest.approx(1.0)
+        config = LoadtestConfig(requests=2000, keys=10, zipf_s=1.1, seed=1)
+        schedule = build_schedule(config, 10)
+        counts = np.bincount(schedule, minlength=10)
+        assert counts[0] > counts[-1] * 2  # rank 0 clearly hottest
+
+    def test_zipf_zero_is_uniform(self):
+        weights = zipf_weights(8, 0.0)
+        np.testing.assert_allclose(weights, np.full(8, 1 / 8))
+
+
+class TestSummaries:
+    def _result(self, status, latency_s):
+        return RequestResult(
+            index=0, key_index=0, status=status, latency_s=latency_s
+        )
+
+    def test_outcome_classification(self):
+        results = [
+            self._result(200, 0.01),
+            self._result(200, 0.02),
+            self._result(429, 0.001),
+            self._result(504, 1.0),
+            self._result(500, 0.1),
+        ]
+        totals, rates, latency_ms = summarize_results(results, elapsed_s=2.0)
+        assert totals["ok"] == 2
+        assert totals["rejected_429"] == 1
+        assert totals["timeout_504"] == 1
+        assert totals["errors"] == 1
+        assert rates["throughput_rps"] == pytest.approx(2.5)
+        assert rates["rejected_429_rate"] == pytest.approx(0.2)
+        assert latency_ms["max_ms"] == pytest.approx(1000.0)
+        assert latency_ms["p50_ms"] == pytest.approx(20.0)
+
+    def test_empty_results(self):
+        totals, rates, latency_ms = summarize_results([], elapsed_s=0.0)
+        assert totals["requests"] == 0
+        assert rates["throughput_rps"] == 0.0
+        assert latency_ms["p99_ms"] == 0.0
+
+
+def _artifact(**overrides):
+    config = LoadtestConfig(requests=10, keys=2).to_dict()
+    payload = {
+        "schema_version": 1,
+        "kind": SERVE_KIND,
+        "tag": "t",
+        "provenance": {},
+        "config": config,
+        "totals": {"requests": 10.0, "ok": 10.0},
+        "rates": {
+            "throughput_rps": 50.0,
+            "error_rate": 0.0,
+            "rejected_429_rate": 0.0,
+            "timeout_504_rate": 0.0,
+        },
+        "latency_ms": {
+            "p50_ms": 10.0,
+            "p95_ms": 20.0,
+            "p99_ms": 30.0,
+            "mean_ms": 12.0,
+            "max_ms": 35.0,
+        },
+        "server": {},
+    }
+    payload.update(overrides)
+    return ServeArtifact.from_dict(payload)
+
+
+class TestArtifact:
+    def test_round_trips_through_save_load(self, tmp_path):
+        artifact = _artifact()
+        path = artifact.save(tmp_path / "BENCH_serve_t.json")
+        loaded = ServeArtifact.load(path)
+        assert loaded.to_dict() == artifact.to_dict()
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(BenchError):
+            _artifact(kind="bench-micro")
+
+    def test_wrong_schema_version_rejected(self):
+        with pytest.raises(BenchError):
+            _artifact(schema_version=99)
+
+    def test_missing_field_rejected(self):
+        payload = _artifact().to_dict()
+        del payload["rates"]
+        with pytest.raises(BenchError):
+            ServeArtifact.from_dict(payload)
+
+
+class TestCompare:
+    def test_identical_artifacts_are_clean(self):
+        report = compare_serve_artifacts(_artifact(), _artifact())
+        assert report.ok
+        assert report.cells_compared == 1
+
+    def test_rate_regression_trips(self):
+        current = _artifact()
+        current.rates = dict(current.rates, rejected_429_rate=0.25)
+        report = compare_serve_artifacts(_artifact(), current)
+        assert not report.ok
+        assert any(
+            f.metric == "rates.rejected_429_rate" for f in report.regressions
+        )
+
+    def test_rate_within_tolerance_passes(self):
+        current = _artifact()
+        current.rates = dict(current.rates, rejected_429_rate=0.04)
+        report = compare_serve_artifacts(
+            _artifact(), current, rate_tolerance=0.05
+        )
+        assert report.ok
+
+    def test_latency_regression_trips_beyond_tolerance(self):
+        current = _artifact()
+        current.latency_ms = dict(current.latency_ms, p99_ms=300.0)  # 10x
+        report = compare_serve_artifacts(
+            _artifact(), current, latency_tolerance_pct=300.0
+        )
+        assert not report.ok
+        assert any(f.metric == "latency.p99_ms" for f in report.regressions)
+
+    def test_nonpositive_latency_tolerance_disables_gating(self):
+        current = _artifact()
+        current.latency_ms = dict(current.latency_ms, p99_ms=30000.0)
+        report = compare_serve_artifacts(
+            _artifact(), current, latency_tolerance_pct=0.0
+        )
+        assert report.ok
+
+    def test_mismatched_workload_is_an_error_not_a_verdict(self):
+        other = _artifact(
+            config=LoadtestConfig(requests=11, keys=2).to_dict()
+        )
+        with pytest.raises(BenchError, match="different workloads"):
+            compare_serve_artifacts(_artifact(), other)
+
+    def test_sizing_fields_do_not_block_comparison(self):
+        """workers/queue_depth are what a loadtest tunes — they compare."""
+        resized = LoadtestConfig(
+            requests=10, keys=2, workers=1, queue_depth=1
+        ).to_dict()
+        report = compare_serve_artifacts(
+            _artifact(), _artifact(config=resized)
+        )
+        assert report.ok
+
+
+class TestSlo:
+    def test_parse_and_unknown_names(self):
+        slo = parse_slo(["p99_ms=500", "error_rate=0.01"])
+        assert slo == {"p99_ms": 500.0, "error_rate": 0.01}
+        with pytest.raises(BenchError):
+            parse_slo(["p37_ms=1"])
+        with pytest.raises(BenchError):
+            parse_slo(["p99_ms"])
+        with pytest.raises(BenchError):
+            parse_slo(["p99_ms=fast"])
+
+    def test_ceiling_violation(self):
+        violations = evaluate_slo(_artifact(), {"p99_ms": 25.0})
+        assert len(violations) == 1
+        assert violations[0].metric == "p99_ms"
+        assert evaluate_slo(_artifact(), {"p99_ms": 30.0}) == []
+
+    def test_throughput_is_a_floor(self):
+        assert evaluate_slo(_artifact(), {"throughput_rps": 40.0}) == []
+        violations = evaluate_slo(_artifact(), {"throughput_rps": 60.0})
+        assert len(violations) == 1
+
+
+class TestEndToEnd:
+    def test_tiny_closed_loop_run(self, tmp_path):
+        config = LoadtestConfig(
+            requests=12,
+            clients=2,
+            keys=2,
+            datasets=("delaunay",),
+            modes=("gpu", "scu-basic"),
+        )
+        artifact = run_loadtest(config, tag="test")
+        assert artifact.kind == SERVE_KIND
+        assert artifact.totals["requests"] == 12
+        assert artifact.totals["ok"] == 12
+        assert artifact.rates["error_rate"] == 0.0
+        assert artifact.latency_ms["p99_ms"] >= artifact.latency_ms["p50_ms"] > 0
+        # server-side truth: both keys simulated once, the rest reused
+        counters = artifact.server["counters"]
+        assert counters["requests"] == 12
+        assert counters["simulations"] == 2
+        ratios = artifact.server["ratios"]
+        assert ratios["simulated"] + ratios["coalesced"] + ratios[
+            "cached"
+        ] == pytest.approx(1.0)
+        assert "total" in artifact.server["latency_ms"]
+        # the artifact self-compares clean and serializes valid JSON
+        assert compare_serve_artifacts(artifact, artifact).ok
+        path = artifact.save(tmp_path / "BENCH_serve_test.json")
+        assert json.loads(path.read_text())["kind"] == SERVE_KIND

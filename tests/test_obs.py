@@ -22,6 +22,7 @@ from repro.algorithms.runner import (
 from repro.errors import ObservabilityError
 from repro.graph.datasets import load_dataset
 from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
     NULL_OBS,
     LruCache,
     MetricsRegistry,
@@ -30,6 +31,7 @@ from repro.obs import (
     global_metrics,
     make_observability,
     merge_flat_snapshots,
+    quantile_from_buckets,
     sim_profile,
     wall_profile,
 )
@@ -420,3 +422,157 @@ class TestCompactionFractionNan:
         assert system.gpu.obs is obs
         assert system.gpu.hierarchy.obs is obs
         assert system.scu.obs is obs
+
+
+class TestBucketedHistograms:
+    def test_bucket_counts_are_le_inclusive(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.1, 0.5, 1.0, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()[0]
+        # cumulative pairs: le=0.1 catches 0.05 and 0.1 (le-inclusive)
+        assert snap["buckets"] == [
+            ["0.1", 2],
+            ["1", 4],
+            ["10", 5],
+            ["+Inf", 6],
+        ]
+        assert snap["count"] == 6
+
+    def test_observe_and_observe_many_fill_identical_buckets(self):
+        registry = MetricsRegistry()
+        values = [0.0004, 0.0005, 0.003, 0.2, 7.0, 100.0]
+        a = registry.histogram("a", buckets=DEFAULT_LATENCY_BUCKETS)
+        b = registry.histogram("b", buckets=DEFAULT_LATENCY_BUCKETS)
+        for v in values:
+            a.observe(v)
+        b.observe_many(np.array(values))
+        assert a.snapshot()[0]["buckets"] == b.snapshot()[0]["buckets"]
+
+    def test_quantile_interpolates_and_clamps(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe_many(np.linspace(0.1, 3.9, 100))
+        # quantiles are monotone and never leave the observed range
+        q50 = h.quantile(0.5)
+        q95 = h.quantile(0.95)
+        assert 0.1 <= q50 <= q95 <= 3.9
+        assert h.quantile(0.0) == pytest.approx(0.1)
+        assert h.quantile(1.0) == pytest.approx(3.9)
+
+    def test_quantile_without_buckets_raises(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("plain")
+        h.observe(1.0)
+        with pytest.raises(ObservabilityError):
+            h.quantile(0.5)
+
+    def test_bucket_mismatch_on_reregistration_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0))
+        registry.histogram("lat")  # no buckets requested: fine
+        registry.histogram("lat", buckets=(1.0, 2.0))  # same: fine
+        with pytest.raises(ObservabilityError):
+            registry.histogram("lat", buckets=(1.0, 3.0))
+
+    def test_quantile_from_buckets_linear_case(self):
+        # 100 observations uniform in one bucket [0, 10]
+        cumulative = [(10.0, 100.0), (math.inf, 100.0)]
+        assert quantile_from_buckets(cumulative, 0.5) == pytest.approx(5.0)
+        assert quantile_from_buckets(cumulative, 0.99) == pytest.approx(9.9)
+        assert quantile_from_buckets([], 0.5) == 0.0
+
+    def test_prometheus_exposition_has_buckets_and_types(self):
+        from repro.obs import check_exposition
+
+        registry = MetricsRegistry()
+        h = registry.histogram("lat.total", buckets=(0.5, 1.0))
+        h.observe(0.2, route="run")
+        h.observe(0.7, route="run")
+        registry.counter("req").inc(route="a\\b\"c\nd")  # escaping probe
+        text = registry.render_prometheus()
+        samples = check_exposition(text)  # raises on malformed output
+        by_key = {s.key(): s.value for s in samples}
+        assert by_key['lat_total_bucket{le=0.5,route=run}'] == 1.0
+        assert by_key['lat_total_bucket{le=1,route=run}'] == 2.0
+        assert by_key['lat_total_bucket{le=+Inf,route=run}'] == 2.0
+        assert by_key['lat_total_count{route=run}'] == 2.0
+        assert by_key['lat_total_sum{route=run}'] == pytest.approx(0.9)
+        # the escaped label round-trips through the parser
+        escaped = next(s for s in samples if s.name == "req")
+        assert escaped.labels_dict()["route"] == 'a\\b"c\nd'
+        # every emitted series family is TYPE-announced
+        _, types = __import__(
+            "repro.obs.promtext", fromlist=["parse_exposition"]
+        ).parse_exposition(text)
+        assert types["lat_total"] == "histogram"
+        assert types["req"] == "counter"
+
+    def test_merge_flat_snapshots_pools_buckets(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        for registry, values in ((r1, [0.2]), (r2, [0.7, 2.0])):
+            h = registry.histogram("lat", buckets=(0.5, 1.0))
+            for v in values:
+                h.observe(v)
+        merged = merge_flat_snapshots([r1.flat_snapshot(), r2.flat_snapshot()])
+        entry = next(e for e in merged if e["metric"] == "lat")
+        assert entry["count"] == 3
+        assert entry["buckets"] == [["0.5", 1], ["1", 2], ["+Inf", 3]]
+
+
+class TestServeTelemetryAB:
+    """Telemetry on vs off must not change a single response byte."""
+
+    REQUEST = {
+        "algorithm": "bfs",
+        "dataset": "human",
+        "gpu": "TX1",
+        "mode": "scu-enhanced",
+    }
+
+    def _serve_one(self, config):
+        import threading
+        import urllib.request
+
+        from repro.serve import SimulationService, make_server
+
+        clear_run_cache()
+        service = SimulationService(config)
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        try:
+            request = urllib.request.Request(
+                f"http://{host}:{port}/run",
+                data=json.dumps(self.REQUEST).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=60.0) as response:
+                return response.read()
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
+            service.close()
+            clear_run_cache()
+
+    def test_responses_identical_with_telemetry_on_off(self, tmp_path):
+        from repro.algorithms import execute_request
+        from repro.serve import ServiceConfig, encode, run_response
+
+        body_on = self._serve_one(
+            ServiceConfig(
+                port=0,
+                telemetry=True,
+                access_log=str(tmp_path / "access.jsonl"),
+            )
+        )
+        body_off = self._serve_one(ServiceConfig(port=0, telemetry=False))
+        assert body_on == body_off
+        # ... and both equal the in-process simulation, so telemetry
+        # changed no simulated metric either.
+        request = RunRequest.make("bfs", "human", "TX1", "scu-enhanced")
+        local = execute_request(request).report
+        assert body_on == encode(run_response(request, local))

@@ -27,6 +27,7 @@ from repro.obs import MetricsRegistry
 from repro.request import RunRequest
 from repro.serve import (
     COALESCED_METRIC,
+    REJECTED_METRIC,
     SIMULATIONS_METRIC,
     ServiceConfig,
     ServiceQueue,
@@ -166,7 +167,7 @@ class TestServiceQueue:
         with pytest.raises(ServiceOverloadError) as excinfo:
             queue.submit(lambda: None)
         assert excinfo.value.retry_after_s == 2.5
-        assert "admission queue full (1 waiting)" in str(excinfo.value)
+        assert "admission queue full (1 waiting, limit 1)" in str(excinfo.value)
         release.set()
         assert queue.drain(timeout_s=10.0)
 
@@ -224,9 +225,9 @@ class GatedService(SimulationService):
         super().__init__(config)
         self.release = threading.Event()
 
-    def _simulate(self, request):
+    def _simulate(self, request, ctx=None):
         self.release.wait(30.0)
-        return super()._simulate(request)
+        return super()._simulate(request, ctx)
 
 
 class CoalescingGatedService(SimulationService):
@@ -240,13 +241,13 @@ class CoalescingGatedService(SimulationService):
 
     expected = 7
 
-    def _simulate(self, request):
+    def _simulate(self, request, ctx=None):
         deadline = time.time() + 30.0
         while time.time() < deadline:
             if self.registry.counter(COALESCED_METRIC).total() >= self.expected:
                 break
             time.sleep(0.005)
-        return super()._simulate(request)
+        return super()._simulate(request, ctx)
 
 
 def _post(base, body, timeout=60.0):
@@ -410,7 +411,7 @@ class TestOverloadAndTimeout:
             payload = json.loads(excinfo.value.read())
             assert payload == {
                 "error": "overloaded",
-                "message": "admission queue full (1 waiting)",
+                "message": "admission queue full (1 waiting, limit 1)",
                 "retry_after_s": 3.0,
                 "status": 429,
             }
@@ -474,4 +475,237 @@ class TestDrain:
             service.release.set()
             httpd.shutdown()
             httpd.server_close()
+            clear_run_cache()
+
+
+# ---------------------------------------------------------------------------
+# Per-request telemetry (PR 6)
+# ---------------------------------------------------------------------------
+
+
+def _post_with_headers(base, body, timeout=60.0):
+    request = urllib.request.Request(
+        base + "/run", data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, response.read(), dict(response.headers)
+
+
+class TestRequestTelemetry:
+    def test_request_ids_are_echoed_and_monotonic(self, served):
+        _, base = served
+        _, _, first = _post_with_headers(base, REQUEST_BODY)
+        _, _, second = _post_with_headers(base, REQUEST_BODY)
+        assert first["X-Request-Id"] == "req-000001"
+        assert second["X-Request-Id"] == "req-000002"
+
+    def test_error_responses_carry_a_request_id(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, b"{not json")
+        assert excinfo.value.code == 400
+        assert excinfo.value.headers["X-Request-Id"] == "req-000001"
+        excinfo.value.read()
+
+    def test_debug_requests_returns_structured_records(self, served):
+        service, base = served
+        _post(base, REQUEST_BODY)  # cold -> simulated
+        _post(base, REQUEST_BODY)  # warm -> cached
+        with urllib.request.urlopen(
+            base + "/debug/requests", timeout=10.0
+        ) as response:
+            payload = json.loads(response.read())
+        assert payload["enabled"] is True
+        assert payload["capacity"] == 256
+        records = payload["requests"]
+        assert [r["request_id"] for r in records] == ["req-000001", "req-000002"]
+        assert [r["outcome"] for r in records] == ["simulated", "cached"]
+        assert all(r["status"] == 200 for r in records)
+        assert all(r["total_ms"] > 0 for r in records)
+        assert records[0]["simulate_ms"] > 0
+        assert records[0]["queue_wait_ms"] >= 0
+        # the journaled cache key is the canonical wire form
+        expected_key = json.loads(REQUEST_BODY)
+        expected_key.setdefault("seed", 42)
+        expected_key.setdefault("kwargs", {})
+        assert json.loads(records[0]["cache_key"]) == expected_key
+
+    def test_debug_requests_honors_n(self, served):
+        service, base = served
+        for _ in range(3):
+            _post(base, REQUEST_BODY)
+        with urllib.request.urlopen(
+            base + "/debug/requests?n=2", timeout=10.0
+        ) as response:
+            payload = json.loads(response.read())
+        ids = [r["request_id"] for r in payload["requests"]]
+        assert ids == ["req-000002", "req-000003"]
+
+    def test_journal_is_a_bounded_ring(self):
+        clear_run_cache()
+        service = SimulationService(ServiceConfig(port=0, journal_size=2))
+        httpd, base = _start(service)
+        try:
+            for _ in range(4):
+                _post(base, REQUEST_BODY)
+            records = service.journal.tail(None)
+            assert len(records) == 2
+            assert [r["request_id"] for r in records] == [
+                "req-000003",
+                "req-000004",
+            ]
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
+            clear_run_cache()
+
+    def test_rejected_counter_labels_overload_and_draining(self):
+        registry = MetricsRegistry()
+        queue = ServiceQueue(workers=1, queue_depth=1, registry=registry)
+        release = threading.Event()
+        queue.submit(lambda: release.wait(10.0))
+        deadline = time.time() + 10.0
+        while queue.inflight < 1 and time.time() < deadline:
+            time.sleep(0.01)
+        queue.submit(lambda: None)
+        with pytest.raises(ServiceOverloadError):
+            queue.submit(lambda: None)
+        assert registry.counter(REJECTED_METRIC).value(reason="overload") == 1.0
+        release.set()
+        assert queue.drain(timeout_s=10.0)
+        with pytest.raises(ServiceUnavailableError):
+            queue.submit(lambda: None)
+        assert registry.counter(REJECTED_METRIC).value(reason="draining") == 1.0
+
+    def test_429_carries_wellformed_retry_after(self):
+        clear_run_cache()
+        service = GatedService(
+            ServiceConfig(port=0, workers=1, queue_depth=1, retry_after_s=2.5)
+        )
+        httpd, base = _start(service)
+        try:
+            body = json.dumps(
+                {
+                    "algorithm": "bfs",
+                    "dataset": "human",
+                    "gpu": "TX1",
+                    "mode": "gpu",
+                }
+            ).encode()
+            thread = threading.Thread(target=lambda: _post(base, body))
+            thread.start()
+            deadline = time.time() + 10.0
+            while service._queue.inflight < 1 and time.time() < deadline:
+                time.sleep(0.01)
+            second = json.dumps(
+                {
+                    "algorithm": "bfs",
+                    "dataset": "delaunay",
+                    "gpu": "TX1",
+                    "mode": "gpu",
+                }
+            ).encode()
+            t2 = threading.Thread(target=lambda: _post(base, second))
+            t2.start()
+            while service._queue.depth < 1 and time.time() < deadline:
+                time.sleep(0.01)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(
+                    base,
+                    json.dumps(
+                        {
+                            "algorithm": "bfs",
+                            "dataset": "kron",
+                            "gpu": "TX1",
+                            "mode": "gpu",
+                        }
+                    ).encode(),
+                )
+            assert excinfo.value.code == 429
+            retry_after = excinfo.value.headers["Retry-After"]
+            # RFC 7231: delay-seconds must parse as a non-negative number
+            assert float(retry_after) == 2.5
+            excinfo.value.read()
+            # the rejection is journaled (records land before the
+            # response bytes leave, so no polling is needed)
+            rejected = [
+                r
+                for r in service.journal.tail(None)
+                if r["outcome"] == "rejected-429"
+            ]
+            assert rejected and rejected[0]["status"] == 429
+            service.release.set()
+            thread.join(60.0)
+            t2.join(60.0)
+        finally:
+            service.release.set()
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
+            clear_run_cache()
+
+    def test_metrics_exposition_is_parseable_with_buckets(self, served):
+        from repro.obs import check_exposition
+
+        _, base = served
+        _post(base, REQUEST_BODY)
+        with urllib.request.urlopen(base + "/metrics", timeout=10.0) as response:
+            text = response.read().decode()
+        samples = check_exposition(text)  # conformance: TYPE lines, escapes
+        names = {s.name for s in samples}
+        assert "serve_latency_total_seconds_bucket" in names
+        assert "serve_latency_simulate_seconds_bucket" in names
+        bucket = next(
+            s
+            for s in samples
+            if s.name == "serve_latency_total_seconds_bucket"
+            and s.labels_dict().get("le") == "+Inf"
+        )
+        assert bucket.value == 1.0
+
+    def test_access_log_writes_json_lines(self, tmp_path):
+        clear_run_cache()
+        log_path = tmp_path / "access.jsonl"
+        service = SimulationService(
+            ServiceConfig(port=0, access_log=str(log_path))
+        )
+        httpd, base = _start(service)
+        try:
+            _post(base, REQUEST_BODY)
+            urllib.request.urlopen(base + "/healthz", timeout=10.0).read()
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
+            service.close()
+            clear_run_cache()
+        lines = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if line
+        ]
+        run_lines = [l for l in lines if l["path"] == "/run"]
+        assert run_lines and run_lines[0]["status"] == 200
+        assert run_lines[0]["request_id"] == "req-000001"
+        assert run_lines[0]["outcome"] == "simulated"
+        assert any(l["path"] == "/healthz" for l in lines)
+
+    def test_telemetry_off_disables_journal_but_keeps_ids(self):
+        clear_run_cache()
+        service = SimulationService(ServiceConfig(port=0, telemetry=False))
+        httpd, base = _start(service)
+        try:
+            status, _, headers = _post_with_headers(base, REQUEST_BODY)
+            assert status == 200
+            assert headers["X-Request-Id"] == "req-000001"
+            with urllib.request.urlopen(
+                base + "/debug/requests", timeout=10.0
+            ) as response:
+                payload = json.loads(response.read())
+            assert payload == {"enabled": False, "capacity": 0, "requests": []}
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
             clear_run_cache()
