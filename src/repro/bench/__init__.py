@@ -28,6 +28,8 @@ from .loadtest import (
     ServeArtifact,
     build_population,
     build_schedule,
+    client_trace_context,
+    collect_offenders,
     compare_serve_artifacts,
     evaluate_slo,
     parse_slo,
@@ -115,6 +117,8 @@ __all__ = [
     "zipf_weights",
     "summarize_results",
     "summarize_server",
+    "client_trace_context",
+    "collect_offenders",
     "run_loadtest",
     "compare_serve_artifacts",
     "parse_slo",

@@ -46,6 +46,8 @@ from ..obs.promtext import (
     sum_by_name,
 )
 from ..obs.metrics import quantile_from_buckets
+from ..obs.propagation import TraceContext, format_traceparent
+from ..obs.spans import SpanRecord, perf_to_epoch_us, spans_to_chrome
 from ..request import RunRequest
 from .compare import V_FASTER, V_MISSING, V_WALL, CompareReport, Finding
 from .record import collect_provenance
@@ -211,24 +213,52 @@ class RequestResult:
     status: int
     latency_s: float
     request_id: Optional[str] = None
+    trace_id: Optional[str] = None
+    started_us: float = 0.0  # absolute epoch us of the client send
+
+
+def client_trace_context(seed: int, index: int) -> TraceContext:
+    """The deterministic trace context of schedule entry ``index``.
+
+    A pure function of (seed, index), like the schedule itself: the
+    high half of the trace ID carries the seed, the low half the
+    1-based request index, so a trace ID alone identifies which request
+    of which run produced it.  The client span ID is the index again —
+    never all-zero because the index is 1-based.
+    """
+    high = seed & 0xFFFFFFFFFFFFFFFF
+    return TraceContext(
+        trace_id=f"{high:016x}{index + 1:016x}",
+        span_id=f"{index + 1:016x}",
+    )
 
 
 def _post_run(
-    base_url: str, body: bytes, timeout_s: float
-) -> Tuple[int, Optional[str]]:
-    """POST one run request; returns (status, X-Request-Id)."""
-    req = urllib.request.Request(
-        f"{base_url}/run",
-        data=body,
-        headers={"Content-Type": "application/json"},
-    )
+    base_url: str,
+    body: bytes,
+    timeout_s: float,
+    traceparent: Optional[str] = None,
+) -> Tuple[int, Optional[str], Optional[str]]:
+    """POST one run request; returns (status, X-Request-Id, X-Trace-Id)."""
+    headers = {"Content-Type": "application/json"}
+    if traceparent is not None:
+        headers["traceparent"] = traceparent
+    req = urllib.request.Request(f"{base_url}/run", data=body, headers=headers)
     try:
         with urllib.request.urlopen(req, timeout=timeout_s) as response:
             response.read()
-            return response.status, response.headers.get("X-Request-Id")
+            return (
+                response.status,
+                response.headers.get("X-Request-Id"),
+                response.headers.get("X-Trace-Id"),
+            )
     except urllib.error.HTTPError as error:
         error.read()
-        return error.code, error.headers.get("X-Request-Id")
+        return (
+            error.code,
+            error.headers.get("X-Request-Id"),
+            error.headers.get("X-Trace-Id"),
+        )
 
 
 def _scrape_metrics(base_url: str, timeout_s: float) -> str:
@@ -254,6 +284,10 @@ class ServeArtifact:
     rates: Dict[str, float] = field(default_factory=dict)
     latency_ms: Dict[str, float] = field(default_factory=dict)
     server: Dict[str, Any] = field(default_factory=dict)
+    #: Worst offenders for correlation: the slowest requests plus every
+    #: captured 429/504, each with its request/trace IDs.  Additive and
+    #: optional, so the schema version stays put.
+    offenders: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
     schema_version: int = SERVE_SCHEMA_VERSION
     kind: str = SERVE_KIND
 
@@ -268,6 +302,7 @@ class ServeArtifact:
             "rates": dict(self.rates),
             "latency_ms": dict(self.latency_ms),
             "server": dict(self.server),
+            "offenders": {k: list(v) for k, v in self.offenders.items()},
         }
 
     def save(self, path: str | Path) -> Path:
@@ -306,6 +341,7 @@ class ServeArtifact:
             rates=payload["rates"],
             latency_ms=payload["latency_ms"],
             server=payload.get("server", {}),
+            offenders=payload.get("offenders", {}),
             schema_version=version,
         )
 
@@ -361,6 +397,45 @@ def summarize_results(
         "max_ms": (latencies[-1] * 1e3) if latencies else 0.0,
     }
     return totals, rates, latency_ms
+
+
+#: How many requests each offender list retains.
+OFFENDER_LIMIT = 10
+
+
+def _offender_row(result: RequestResult) -> Dict[str, Any]:
+    return {
+        "request_id": result.request_id,
+        "trace_id": result.trace_id,
+        "status": result.status,
+        "latency_ms": round(result.latency_s * 1e3, 3),
+        "key_index": result.key_index,
+    }
+
+
+def collect_offenders(
+    results: Sequence[RequestResult], limit: int = OFFENDER_LIMIT
+) -> Dict[str, List[Dict[str, Any]]]:
+    """The artifact's ``offenders`` block: worst requests by category.
+
+    ``slowest`` ranks every observation by latency; ``rejected_429`` and
+    ``timeout_504`` capture each shed request (worst-latency first, the
+    504s being the ones that burned a worker slot the longest).  Every
+    row carries the ``X-Request-Id``/``X-Trace-Id`` the server minted,
+    so an offender joins directly to ``/debug/requests`` rows and
+    ``/debug/trace/{trace_id}`` stitched traces.
+    """
+    by_latency = sorted(results, key=lambda r: -r.latency_s)
+    offenders = {
+        "slowest": [_offender_row(r) for r in by_latency[:limit]],
+        "rejected_429": [
+            _offender_row(r) for r in by_latency if r.status == 429
+        ][:limit],
+        "timeout_504": [
+            _offender_row(r) for r in by_latency if r.status == 504
+        ][:limit],
+    }
+    return {k: v for k, v in offenders.items() if v}
 
 
 #: Counter families diffed between the before/after ``/metrics`` scrapes.
@@ -420,6 +495,7 @@ def _run_closed_loop(
     base_url: str,
     clients: int,
     timeout_s: float,
+    traceparents: Optional[List[str]] = None,
 ) -> List[RequestResult]:
     """``clients`` callers pull the next request back-to-back."""
     schedule_lock = threading.Lock()
@@ -433,17 +509,22 @@ def _run_closed_loop(
                 if index >= len(bodies):
                     return
                 cursor[0] = index + 1
+            traceparent = traceparents[index] if traceparents else None
             started = time.perf_counter()
             try:
-                status, rid = _post_run(base_url, bodies[index], timeout_s)
+                status, rid, tid = _post_run(
+                    base_url, bodies[index], timeout_s, traceparent
+                )
             except OSError:
-                status, rid = 599, None  # transport failure, not HTTP
+                status, rid, tid = 599, None, None  # transport, not HTTP
             results[index] = RequestResult(
                 index=index,
                 key_index=-1,
                 status=status,
                 latency_s=time.perf_counter() - started,
                 request_id=rid,
+                trace_id=tid,
+                started_us=perf_to_epoch_us(started),
             )
 
     threads = [
@@ -462,22 +543,28 @@ def _run_open_loop(
     base_url: str,
     rate: float,
     timeout_s: float,
+    traceparents: Optional[List[str]] = None,
 ) -> List[RequestResult]:
     """Fire at a fixed arrival rate; completions never slow arrivals."""
     results: List[Optional[RequestResult]] = [None] * len(bodies)
 
     def one(index: int) -> None:
+        traceparent = traceparents[index] if traceparents else None
         started = time.perf_counter()
         try:
-            status, rid = _post_run(base_url, bodies[index], timeout_s)
+            status, rid, tid = _post_run(
+                base_url, bodies[index], timeout_s, traceparent
+            )
         except OSError:
-            status, rid = 599, None
+            status, rid, tid = 599, None, None
         results[index] = RequestResult(
             index=index,
             key_index=-1,
             status=status,
             latency_s=time.perf_counter() - started,
             request_id=rid,
+            trace_id=tid,
+            started_us=perf_to_epoch_us(started),
         )
 
     threads: List[threading.Thread] = []
@@ -503,12 +590,18 @@ def run_loadtest(
     url: Optional[str] = None,
     tag: str = "serve",
     progress: Optional[Callable[[str], None]] = None,
+    trace_out: Optional[str] = None,
 ) -> ServeArtifact:
     """Drive one service with ``config``'s workload; return the artifact.
 
     With no ``url`` an in-process server is started on a free port (and
     the process-wide run cache cleared first, so cache/coalesce ratios
-    are a property of the workload, not of what ran before).
+    are a property of the workload, not of what ran before).  Every
+    request carries a deterministic W3C ``traceparent``
+    (:func:`client_trace_context`); with ``trace_out`` the slowest
+    successful request's stitched trace is fetched from
+    ``/debug/trace/{trace_id}`` before the server goes away and written
+    — client span included — as a Chrome trace file.
     """
     population = build_population(config)
     schedule = build_schedule(config, len(population))
@@ -517,6 +610,11 @@ def run_loadtest(
         json.dumps(payloads[int(k)], sort_keys=True).encode("utf-8")
         for k in schedule
     ]
+    contexts = [
+        client_trace_context(config.seed, index)
+        for index in range(len(bodies))
+    ]
+    traceparents = [format_traceparent(context) for context in contexts]
 
     server = None
     service = None
@@ -559,14 +657,29 @@ def run_loadtest(
         started = time.perf_counter()
         if config.mode == "closed":
             results = _run_closed_loop(
-                bodies, base_url, config.clients, config.http_timeout_s
+                bodies, base_url, config.clients, config.http_timeout_s,
+                traceparents,
             )
         else:
             results = _run_open_loop(
-                bodies, base_url, config.rate, config.http_timeout_s
+                bodies, base_url, config.rate, config.http_timeout_s,
+                traceparents,
             )
         elapsed_s = time.perf_counter() - started
         after_text = _scrape_metrics(base_url, config.http_timeout_s)
+        if trace_out is not None:
+            # Fetch while the (possibly in-process) server still exists.
+            written = _write_stitched_trace(
+                base_url, results, contexts, trace_out, config.http_timeout_s
+            )
+            if progress is not None:
+                progress(
+                    f"loadtest: stitched trace written to {trace_out} "
+                    f"({written} spans)"
+                    if written
+                    else "loadtest: no successful traced request; "
+                    f"{trace_out} not written"
+                )
     finally:
         if server is not None:
             server.shutdown()
@@ -587,6 +700,7 @@ def run_loadtest(
         rates=rates,
         latency_ms=latency_ms,
         server=summarize_server(before_text, after_text),
+        offenders=collect_offenders(results),
     )
     if progress is not None:
         progress(
@@ -598,6 +712,60 @@ def run_loadtest(
             f"p99 {latency_ms['p99_ms']:.1f} ms"
         )
     return artifact
+
+
+def _write_stitched_trace(
+    base_url: str,
+    results: Sequence[RequestResult],
+    contexts: Sequence[TraceContext],
+    trace_out: str,
+    timeout_s: float,
+) -> int:
+    """Fetch + write the slowest successful request's stitched trace.
+
+    Pulls the server's span records (``?raw=1``), prepends the client's
+    own span (the trace root — the server parented its ``serve.request``
+    span under it via ``traceparent``), and writes the combined Chrome
+    trace.  Returns the span count, 0 when nothing could be fetched.
+    """
+    candidates = [
+        r for r in results if r.status == 200 and r.trace_id is not None
+    ]
+    if not candidates:
+        return 0
+    slowest = max(candidates, key=lambda r: r.latency_s)
+    try:
+        with urllib.request.urlopen(
+            f"{base_url}/debug/trace/{slowest.trace_id}?raw=1",
+            timeout=timeout_s,
+        ) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return 0  # tracing disabled server-side, or the trace evicted
+    spans = [
+        SpanRecord.from_dict(raw, source="served span")
+        for raw in payload.get("spans", [])
+    ]
+    client_span = SpanRecord(
+        trace_id=slowest.trace_id,
+        span_id=contexts[slowest.index].span_id,
+        parent_id=None,
+        name="client.request",
+        category="client",
+        process="client",
+        start_us=slowest.started_us,
+        duration_us=slowest.latency_s * 1e6,
+        attributes={
+            "request_id": slowest.request_id,
+            "http.status": slowest.status,
+            "key_index": slowest.key_index,
+        },
+    )
+    stitched = [client_span] + spans
+    Path(trace_out).write_text(
+        json.dumps(spans_to_chrome(stitched), indent=1) + "\n"
+    )
+    return len(stitched)
 
 
 # ---------------------------------------------------------------------------
@@ -721,9 +889,12 @@ __all__ = [
     "RATE_STATS",
     "SLO_CEILINGS",
     "SLO_FLOORS",
+    "OFFENDER_LIMIT",
     "LoadtestConfig",
     "RequestResult",
     "ServeArtifact",
+    "client_trace_context",
+    "collect_offenders",
     "build_population",
     "build_schedule",
     "zipf_weights",

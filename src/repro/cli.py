@@ -155,7 +155,75 @@ def _traced_single_run(args):
     return obs, outcome.report
 
 
+def _cmd_trace_request(args) -> int:
+    """One distributed, stitched trace of a simulated request.
+
+    Mirrors what ``repro serve`` records per request, without a server:
+    a client root span over ``sweep.cell`` spans (one per system mode),
+    each bracketing the per-phase simulation spans its worker recorded.
+    With ``--jobs`` the cells fork, so the stitched trace demonstrates
+    the cross-process protocol: worker spans come back trace-less over
+    the result pipe and are adopted under the originating cell span.
+    """
+    import json as json_mod
+
+    from .harness.parallel import SweepCell, stitch_cell_spans, sweep_cells
+    from .obs import (
+        SpanRecord,
+        count_sim_phase_spans,
+        make_context,
+        perf_to_epoch_us,
+        spans_to_chrome,
+    )
+
+    context = make_context()
+    started = time.perf_counter()
+    cells = [
+        SweepCell(
+            algorithm=args.algorithm,
+            dataset=args.dataset,
+            gpu=args.gpu,
+            mode=mode,
+            collect_spans=True,
+        )
+        for mode in SystemMode
+    ]
+    outcomes = sweep_cells(cells, jobs=args.jobs)
+    spans = stitch_cell_spans(
+        outcomes, trace_id=context.trace_id, parent_id=context.span_id
+    )
+    client_span = SpanRecord(
+        trace_id=context.trace_id,
+        span_id=context.span_id,
+        parent_id=None,
+        name="client.request",
+        category="client",
+        process="client",
+        start_us=perf_to_epoch_us(started),
+        duration_us=(time.perf_counter() - started) * 1e6,
+        attributes={
+            "algorithm": args.algorithm,
+            "dataset": args.dataset,
+            "gpu": args.gpu,
+            "jobs": args.jobs,
+        },
+    )
+    stitched = [client_span] + spans
+    with open(args.out, "w") as handle:
+        json_mod.dump(spans_to_chrome(stitched), handle, indent=1)
+    processes = sorted({span.process for span in stitched})
+    print(
+        f"trace {context.trace_id}: {len(stitched)} spans "
+        f"({count_sim_phase_spans(stitched)} simulation phases) "
+        f"across {len(processes)} processes: {', '.join(processes)}"
+    )
+    print(f"stitched trace written to {args.out} (open in ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_trace(args) -> int:
+    if args.request:
+        return _cmd_trace_request(args)
     obs, report = _traced_single_run(args)
     obs.tracer.write_chrome(args.out)
     print(
@@ -318,6 +386,8 @@ def _cmd_serve(args) -> int:
         telemetry=not args.no_telemetry,
         access_log=args.access_log,
         journal_size=args.journal_size,
+        tracing=not args.no_tracing,
+        trace_capacity=args.trace_capacity,
     )
     return run_service(config)
 
@@ -352,7 +422,13 @@ def _cmd_loadtest(args) -> int:
     )
     tag = args.tag or short_git_sha()
     progress = None if args.no_progress else (lambda line: print(line))
-    artifact = run_loadtest(config, url=args.url, tag=tag, progress=progress)
+    artifact = run_loadtest(
+        config,
+        url=args.url,
+        tag=tag,
+        progress=progress,
+        trace_out=args.trace_out,
+    )
     out_path = args.out or f"BENCH_serve_{tag}.json"
     artifact.save(out_path)
     print(f"artifact written to {out_path}")
@@ -389,6 +465,17 @@ def _cmd_loadtest(args) -> int:
         else:
             print(f"all {len(slo)} SLO(s) met")
     return status
+
+
+def _cmd_top(args) -> int:
+    from .serve.console import run_top
+
+    return run_top(
+        args.url,
+        interval_s=args.interval,
+        once=args.once,
+        plain=args.plain,
+    )
 
 
 def _cmd_synthesis(_args) -> int:
@@ -472,6 +559,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the raw event stream as JSON lines",
+    )
+    trace_parser.add_argument(
+        "--request", action="store_true",
+        help="record a distributed, stitched trace instead: a client "
+        "root span over one sweep cell per system mode, each carrying "
+        "its per-phase simulation spans (--mode is ignored)",
+    )
+    trace_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="with --request: fork the cells across N workers, so the "
+        "stitched trace shows real cross-process spans (default 1)",
     )
     trace_parser.set_defaults(func=_cmd_trace)
 
@@ -619,6 +717,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="ring-buffer capacity of the /debug/requests journal "
         "(default 256)",
     )
+    serve_parser.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable distributed tracing (traceparent propagation and "
+        "the /debug/trace span store); responses are byte-identical "
+        "either way",
+    )
+    serve_parser.add_argument(
+        "--trace-capacity", type=int, default=128, metavar="N",
+        help="how many recent traces the span store retains (default 128)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     loadtest_parser = commands.add_parser(
@@ -702,10 +810,38 @@ def build_parser() -> argparse.ArgumentParser:
         "throughput_rps=10); any violation exits 3",
     )
     loadtest_parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the slowest successful request's stitched Chrome "
+        "trace (client span + server spans) to PATH",
+    )
+    loadtest_parser.add_argument(
         "--no-progress", action="store_true",
         help="suppress progress lines",
     )
     loadtest_parser.set_defaults(func=_cmd_loadtest)
+
+    top_parser = commands.add_parser(
+        "top",
+        help="live ops console over a running repro serve (throughput, "
+        "outcome mix, stage quantiles, slowest traces)",
+    )
+    top_parser.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="base URL of the service (default http://127.0.0.1:8765)",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="polling interval (default 2.0)",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (non-interactive/CI form)",
+    )
+    top_parser.add_argument(
+        "--plain", action="store_true",
+        help="clear-and-reprint instead of the curses UI",
+    )
+    top_parser.set_defaults(func=_cmd_top)
 
     commands.add_parser(
         "synthesis", help="per-component SCU area/power report"

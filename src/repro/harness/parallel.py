@@ -41,6 +41,13 @@ from ..algorithms.runner import execute_request
 from ..errors import ExperimentError
 from ..graph.datasets import load_dataset
 from ..obs import global_metrics, make_observability
+from ..obs.propagation import new_span_id
+from ..obs.spans import (
+    SpanRecord,
+    perf_to_epoch_us,
+    reparent_spans,
+    spans_from_tracer,
+)
 from ..phases import RunReport
 from ..request import RunRequest
 from .experiments import prime_experiment_cache
@@ -307,6 +314,9 @@ class SweepCell:
     mode: SystemMode
     kwargs: Tuple[Tuple[str, Any], ...] = ()
     reps: int = 0
+    #: Ship per-phase span records back with the payload (distributed
+    #: tracing).  Off by default: bench sweeps don't pay the pipe cost.
+    collect_spans: bool = False
 
     def request(self) -> RunRequest:
         """The canonical :class:`~repro.request.RunRequest` of this cell."""
@@ -330,6 +340,10 @@ class CellPayload:
     wall_samples: Tuple[float, ...]  # empty when reps == 0
     warmup_s: Optional[float]  # discarded first rep; None when reps == 0
     metrics: Tuple[dict, ...] = ()  # worker registry flat_snapshot payload
+    #: Wire-form span records of the observed run (``collect_spans``
+    #: only).  Trace-less (``trace_id=""``) until the parent re-parents
+    #: them under its own trace — the cross-process stitching protocol.
+    spans: Tuple[dict, ...] = ()
 
 
 def simulate_cell(cell: SweepCell) -> CellPayload:
@@ -356,14 +370,30 @@ def simulate_cell(cell: SweepCell) -> CellPayload:
             started = time.perf_counter()
             execute_request(request)
             samples.append(time.perf_counter() - started)
+    # Stamp before creating the tracer: its relative clock (ts=0) starts
+    # at Tracer() construction, and base_us must anchor that instant.
+    observed_started = time.perf_counter()
     obs = make_observability()
     report = execute_request(request, obs=obs).report
     metrics = obs.metrics.flat_snapshot() + global_metrics().flat_snapshot()
+    spans: Tuple[dict, ...] = ()
+    if cell.collect_spans:
+        spans = tuple(
+            span.to_dict()
+            for span in spans_from_tracer(
+                obs.tracer,
+                trace_id="",
+                parent_id=None,
+                base_us=perf_to_epoch_us(observed_started),
+                process=f"worker-{os.getpid()}",
+            )
+        )
     return CellPayload(
         report=report,
         wall_samples=tuple(samples),
         warmup_s=warmup_s,
         metrics=tuple(metrics),
+        spans=spans,
     )
 
 
@@ -427,3 +457,56 @@ def _to_cell_outcome(cells: Sequence[SweepCell], outcome: SweepOutcome) -> CellO
         duration_s=outcome.duration_s,
         fell_back=outcome.fell_back,
     )
+
+
+def stitch_cell_spans(
+    outcomes: Sequence[CellOutcome],
+    *,
+    trace_id: str,
+    parent_id: Optional[str] = None,
+) -> List[SpanRecord]:
+    """Assemble sweep outcomes into one trace's span list.
+
+    Each cell contributes a ``sweep.cell`` span (under ``parent_id``)
+    that brackets the worker's per-phase spans, which are adopted into
+    ``trace_id`` via :func:`~repro.obs.spans.reparent_spans`.  Workers
+    are forked, so their absolute wall-clock timestamps line up with
+    the parent's without any shifting; a cell that was retried after a
+    crash carries only its *successful* attempt's spans, with the
+    attempt count on the cell span.
+    """
+    stitched: List[SpanRecord] = []
+    for outcome in outcomes:
+        cell_span_id = new_span_id()
+        children = reparent_spans(
+            outcome.payload.spans,
+            trace_id=trace_id,
+            parent_id=cell_span_id,
+            source=f"cell {outcome.cell.label()}",
+        )
+        if children:
+            start_us = min(child.start_us for child in children)
+            end_us = max(child.end_us for child in children)
+        else:  # no spans shipped (collect_spans off, or an empty tracer)
+            end_us = time.time() * 1e6
+            start_us = end_us - outcome.duration_s * 1e6
+        stitched.append(
+            SpanRecord(
+                trace_id=trace_id,
+                span_id=cell_span_id,
+                parent_id=parent_id,
+                name="sweep.cell",
+                category="sweep",
+                process="sweep",
+                start_us=start_us,
+                duration_us=max(0.0, end_us - start_us),
+                attributes={
+                    "label": outcome.cell.label(),
+                    "attempts": outcome.attempts,
+                    "worker_pid": outcome.worker_pid,
+                    "fell_back": outcome.fell_back,
+                },
+            )
+        )
+        stitched.extend(children)
+    return stitched

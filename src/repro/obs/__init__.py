@@ -51,6 +51,28 @@ from .profile import (
     sim_profile,
     wall_profile,
 )
+from .propagation import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    format_traceparent,
+    make_context,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+from .spans import (
+    SIM_SPAN_CATEGORIES,
+    SPAN_SCHEMA_VERSION,
+    SpanRecord,
+    SpanStore,
+    count_sim_phase_spans,
+    epoch_us_now,
+    perf_to_epoch_us,
+    reparent_spans,
+    sanitize_attributes,
+    spans_from_tracer,
+    spans_to_chrome,
+)
 from .tracer import NULL_TRACER, NullTracer, SpanHandle, Tracer
 
 
@@ -107,6 +129,24 @@ __all__ = [
     "bucket_cumulative",
     "diff_cumulative",
     "LruCache",
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "parse_traceparent",
+    "format_traceparent",
+    "make_context",
+    "new_trace_id",
+    "new_span_id",
+    "SPAN_SCHEMA_VERSION",
+    "SIM_SPAN_CATEGORIES",
+    "SpanRecord",
+    "SpanStore",
+    "sanitize_attributes",
+    "spans_from_tracer",
+    "reparent_spans",
+    "count_sim_phase_spans",
+    "spans_to_chrome",
+    "perf_to_epoch_us",
+    "epoch_us_now",
     "wall_profile",
     "sim_profile",
     "render_wall_profile",

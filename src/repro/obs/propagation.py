@@ -1,0 +1,134 @@
+"""W3C Trace Context propagation (the ``traceparent`` header).
+
+A distributed trace is stitched from spans recorded in different
+processes — the loadtest client, the serve front-end, forked sweep
+workers — so every hop must carry the same *trace context*: which trace
+this work belongs to (``trace_id``) and which span caused it
+(``span_id``).  This module implements the interoperable wire form,
+the W3C ``traceparent`` header::
+
+    traceparent: 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01
+                 ^^ ^^^^^^^^^^^^^^^^ trace-id ^^^^^^ ^^ span-id ^^^^^^ flags
+
+Parsing is deliberately forgiving in exactly the ways the spec says to
+be (unknown future versions with a well-formed prefix are accepted) and
+strict everywhere else (wrong lengths, non-hex digits, all-zero IDs,
+and the reserved version ``ff`` are rejected by returning ``None`` —
+a bad header must never fail a request, only orphan its trace).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+#: Canonical (lowercase) header name; HTTP header lookup is case-insensitive.
+TRACEPARENT_HEADER = "traceparent"
+
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+_SPAN_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+_VERSION_RE = re.compile(r"^[0-9a-f]{2}$")
+_FLAGS_RE = re.compile(r"^[0-9a-f]{2}$")
+
+#: The ``sampled`` trace flag — the only flag the W3C level 1 spec defines.
+FLAG_SAMPLED = 0x01
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop's trace identity: ``(trace_id, span_id, flags)``.
+
+    ``trace_id`` is 32 lowercase hex digits shared by every span of the
+    trace; ``span_id`` identifies the *caller's* span — the parent of
+    whatever span the receiving process starts.
+    """
+
+    trace_id: str
+    span_id: str
+    flags: int = FLAG_SAMPLED
+
+    def __post_init__(self) -> None:
+        if not _TRACE_ID_RE.match(self.trace_id) or self.trace_id == "0" * 32:
+            raise ValueError(f"invalid trace_id {self.trace_id!r}")
+        if not _SPAN_ID_RE.match(self.span_id) or self.span_id == "0" * 16:
+            raise ValueError(f"invalid span_id {self.span_id!r}")
+        if not 0 <= self.flags <= 0xFF:
+            raise ValueError(f"invalid flags {self.flags!r}")
+
+    @property
+    def sampled(self) -> bool:
+        return bool(self.flags & FLAG_SAMPLED)
+
+    def child(self, span_id: Optional[str] = None) -> "TraceContext":
+        """The context a downstream hop should receive: same trace, new span."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=span_id if span_id is not None else new_span_id(),
+            flags=self.flags,
+        )
+
+
+def new_trace_id() -> str:
+    """A fresh random 32-hex-digit trace ID (never all zeros)."""
+    while True:
+        trace_id = os.urandom(16).hex()
+        if trace_id != "0" * 32:
+            return trace_id
+
+
+def new_span_id() -> str:
+    """A fresh random 16-hex-digit span ID (never all zeros)."""
+    while True:
+        span_id = os.urandom(8).hex()
+        if span_id != "0" * 16:
+            return span_id
+
+
+def make_context() -> TraceContext:
+    """A brand-new root trace context (fresh trace and span IDs)."""
+    return TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[TraceContext]:
+    """Parse one ``traceparent`` header; ``None`` for anything malformed.
+
+    Accepts version ``00`` exactly, and any other non-``ff`` version as
+    long as its first four ``-``-separated fields are well-formed (the
+    spec's forward-compatibility rule: future versions may only append).
+    """
+    if value is None:
+        return None
+    parts = value.strip().lower().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if not _VERSION_RE.match(version) or version == "ff":
+        return None
+    if version == "00" and len(parts) != 4:
+        return None
+    if not _TRACE_ID_RE.match(trace_id) or trace_id == "0" * 32:
+        return None
+    if not _SPAN_ID_RE.match(span_id) or span_id == "0" * 16:
+        return None
+    if not _FLAGS_RE.match(flags):
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id, flags=int(flags, 16))
+
+
+def format_traceparent(context: TraceContext) -> str:
+    """The version-00 wire form of ``context``."""
+    return f"00-{context.trace_id}-{context.span_id}-{context.flags:02x}"
+
+
+__all__ = [
+    "TRACEPARENT_HEADER",
+    "FLAG_SAMPLED",
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+    "make_context",
+    "parse_traceparent",
+    "format_traceparent",
+]

@@ -1,0 +1,300 @@
+"""``repro top``: a live ops console over a running ``repro serve``.
+
+Stdlib-only terminal dashboard that polls ``GET /metrics`` and
+``GET /debug/requests`` and renders, once per interval:
+
+* **throughput** — requests/s from the delta of the ``serve.requests``
+  counter between the last two scrapes (the first frame shows the
+  absolute total instead, marked ``cum``);
+* **outcome mix** — journal outcomes (simulated / coalesced / cached /
+  rejected / ...) over the journal window, as counts and a bar;
+* **stage latency quantiles** — p50/p90/p99 of the queue-wait,
+  simulate, coalesce-wait and total histograms, estimated from the
+  scraped buckets (interval-windowed once two scrapes exist);
+* **slowest recent traces** — the journal's worst ``total_ms`` rows
+  with their ``trace_id``, which ``GET /debug/trace/{trace_id}``
+  resolves to a stitched Chrome trace.
+
+The data layer (:func:`fetch_snapshot`) and the render layer
+(:func:`render_frame`, pure text in, text out) are separate so tests
+drive rendering without a server or a terminal.  The interactive loop
+prefers ``curses`` and falls back to clear-and-reprint when it is
+unavailable (dumb terminals, pipes); ``--once`` prints a single frame
+and exits, which is also the non-interactive/CI form.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.metrics import quantile_from_buckets
+from ..obs.promtext import bucket_cumulative, diff_cumulative, parse_exposition
+from .telemetry import (
+    COALESCE_WAIT_METRIC,
+    QUEUE_WAIT_METRIC,
+    SIMULATE_METRIC,
+    TOTAL_METRIC,
+)
+
+#: (histogram base name, display label) rows of the quantile panel.
+STAGE_HISTOGRAMS: Tuple[Tuple[str, str], ...] = (
+    (QUEUE_WAIT_METRIC, "queue wait"),
+    (SIMULATE_METRIC, "simulate"),
+    (COALESCE_WAIT_METRIC, "coalesce wait"),
+    (TOTAL_METRIC, "total"),
+)
+
+#: Quantiles of the latency panel.
+QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
+
+#: How many slowest journal rows the trace panel shows.
+SLOWEST_ROWS = 5
+
+
+@dataclass
+class Snapshot:
+    """One poll's worth of raw service state."""
+
+    taken_at: float  # perf_counter when the poll finished
+    requests_total: float  # sum of the serve.requests counter
+    buckets: Dict[str, List[Tuple[float, float]]]  # per-stage cumulative
+    journal: List[Dict[str, Any]] = field(default_factory=list)
+    error: Optional[str] = None  # poll failure; panels render a notice
+
+
+def parse_metrics_text(text: str) -> Tuple[float, Dict[str, List[Tuple[float, float]]]]:
+    """Extract the console's inputs from one ``/metrics`` exposition."""
+    samples, _ = parse_exposition(text)
+    requests_total = sum(
+        s.value for s in samples if s.name == "serve_requests"
+    )
+    buckets = {
+        base: bucket_cumulative(samples, base.replace(".", "_"))
+        for base, _label in STAGE_HISTOGRAMS
+    }
+    return requests_total, buckets
+
+
+def fetch_snapshot(base_url: str, *, timeout_s: float = 5.0) -> Snapshot:
+    """Poll ``/metrics`` + ``/debug/requests`` once; errors are captured."""
+    try:
+        with urllib.request.urlopen(
+            f"{base_url}/metrics", timeout=timeout_s
+        ) as response:
+            requests_total, buckets = parse_metrics_text(
+                response.read().decode("utf-8")
+            )
+        with urllib.request.urlopen(
+            f"{base_url}/debug/requests", timeout=timeout_s
+        ) as response:
+            journal = json.loads(response.read().decode("utf-8")).get(
+                "requests", []
+            )
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        return Snapshot(
+            taken_at=time.perf_counter(),
+            requests_total=0.0,
+            buckets={},
+            error=str(error),
+        )
+    return Snapshot(
+        taken_at=time.perf_counter(),
+        requests_total=requests_total,
+        buckets=buckets,
+        journal=journal,
+    )
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    filled = int(round(min(max(fraction, 0.0), 1.0) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def outcome_mix(journal: List[Dict[str, Any]]) -> List[Tuple[str, int]]:
+    """Outcome counts over the journal window, most frequent first."""
+    counts: Dict[str, int] = {}
+    for record in journal:
+        outcome = str(record.get("outcome"))
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+
+def slowest_traces(
+    journal: List[Dict[str, Any]], rows: int = SLOWEST_ROWS
+) -> List[Dict[str, Any]]:
+    """The journal rows with the worst ``total_ms``, slowest first."""
+    timed = [r for r in journal if r.get("total_ms") is not None]
+    timed.sort(key=lambda r: -float(r["total_ms"]))
+    return timed[:rows]
+
+
+def stage_quantiles(
+    current: Snapshot, previous: Optional[Snapshot]
+) -> List[Tuple[str, Tuple[float, ...], bool]]:
+    """Per-stage quantile rows: ``(label, ms values, windowed?)``.
+
+    With two scrapes the buckets are differenced so the estimates cover
+    only the polling interval; the first frame falls back to the
+    cumulative (since-start) distribution, flagged via the bool.
+    """
+    rows: List[Tuple[str, Tuple[float, ...], bool]] = []
+    for base, label in STAGE_HISTOGRAMS:
+        cumulative = current.buckets.get(base, [])
+        windowed = False
+        if previous is not None and previous.buckets.get(base):
+            diffed = diff_cumulative(cumulative, previous.buckets[base])
+            if diffed and diffed[-1][1] > 0:
+                cumulative = diffed
+                windowed = True
+        values = tuple(
+            quantile_from_buckets(cumulative, q) * 1e3 for q in QUANTILES
+        )
+        rows.append((label, values, windowed))
+    return rows
+
+
+def render_frame(
+    current: Snapshot,
+    previous: Optional[Snapshot],
+    *,
+    url: str,
+    width: int = 78,
+) -> str:
+    """One full dashboard frame as plain text (the whole UI, testably)."""
+    lines: List[str] = []
+    lines.append(f"repro top — {url}  ({time.strftime('%H:%M:%S')})")
+    lines.append("=" * width)
+    if current.error is not None:
+        lines.append(f"POLL FAILED: {current.error}")
+        return "\n".join(lines)
+
+    if previous is not None and current.taken_at > previous.taken_at:
+        interval = current.taken_at - previous.taken_at
+        rate = max(0.0, current.requests_total - previous.requests_total)
+        lines.append(
+            f"throughput: {rate / interval:8.1f} req/s over the last "
+            f"{interval:.1f}s  (total {current.requests_total:.0f})"
+        )
+    else:
+        lines.append(
+            f"throughput: {current.requests_total:8.0f} requests (cum; "
+            f"rates appear after the second poll)"
+        )
+    lines.append("")
+
+    mix = outcome_mix(current.journal)
+    lines.append(f"outcome mix (last {len(current.journal)} requests):")
+    if not mix:
+        lines.append("  (journal empty or telemetry disabled)")
+    else:
+        total = sum(count for _outcome, count in mix)
+        for outcome, count in mix:
+            fraction = count / total if total else 0.0
+            lines.append(
+                f"  {outcome:14s} {count:5d}  {_bar(fraction)} {fraction:6.1%}"
+            )
+    lines.append("")
+
+    header = "  ".join(f"p{int(q * 100):>2d} ms".rjust(10) for q in QUANTILES)
+    lines.append(f"stage latency        {header}")
+    for label, values, windowed in stage_quantiles(current, previous):
+        cells = "  ".join(f"{value:10.2f}" for value in values)
+        suffix = "" if windowed else "  (cum)"
+        lines.append(f"  {label:18s} {cells}{suffix}")
+    lines.append("")
+
+    lines.append("slowest recent traces:")
+    rows = slowest_traces(current.journal)
+    if not rows:
+        lines.append("  (none yet)")
+    for record in rows:
+        trace = record.get("trace_id") or "-"
+        lines.append(
+            f"  {float(record['total_ms']):9.1f} ms  "
+            f"{str(record.get('outcome')):12s} "
+            f"{str(record.get('request_id')):12s} trace {trace}"
+        )
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    *,
+    interval_s: float = 2.0,
+    once: bool = False,
+    plain: bool = False,
+) -> int:
+    """The ``repro top`` loop; returns a process exit code."""
+    url = url.rstrip("/")
+    previous: Optional[Snapshot] = None
+    if once:
+        print(render_frame(fetch_snapshot(url), None, url=url))
+        return 0
+    use_curses = not plain
+    if use_curses:
+        try:
+            import curses  # noqa: F401
+        except ImportError:  # minimal builds: fall back to reprint
+            use_curses = False
+    if use_curses:
+        return _run_curses(url, interval_s)
+    try:
+        while True:
+            current = fetch_snapshot(url)
+            print("\033[2J\033[H", end="")  # clear + home
+            print(render_frame(current, previous, url=url), flush=True)
+            previous = current
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _run_curses(url: str, interval_s: float) -> int:
+    import curses
+
+    def loop(screen: "curses.window") -> None:
+        curses.curs_set(0)
+        screen.nodelay(True)
+        previous: Optional[Snapshot] = None
+        while True:
+            current = fetch_snapshot(url)
+            frame = render_frame(current, previous, url=url)
+            screen.erase()
+            max_y, max_x = screen.getmaxyx()
+            for y, line in enumerate(frame.splitlines()):
+                if y >= max_y - 1:
+                    break
+                screen.addnstr(y, 0, line, max_x - 1)
+            screen.refresh()
+            previous = current
+            deadline = time.perf_counter() + interval_s
+            while time.perf_counter() < deadline:
+                key = screen.getch()
+                if key in (ord("q"), ord("Q")):
+                    return
+                time.sleep(0.05)
+
+    try:
+        curses.wrapper(loop)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+__all__ = [
+    "Snapshot",
+    "STAGE_HISTOGRAMS",
+    "QUANTILES",
+    "parse_metrics_text",
+    "fetch_snapshot",
+    "outcome_mix",
+    "slowest_traces",
+    "stage_quantiles",
+    "render_frame",
+    "run_top",
+]

@@ -40,10 +40,20 @@ from ..errors import (
     ServiceUnavailableError,
 )
 from ..harness.parallel import SweepFailure, run_sweep
+from ..obs.lru import LruCache
 from ..obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     MetricsRegistry,
     global_metrics,
+)
+from ..obs.propagation import new_span_id, new_trace_id, parse_traceparent
+from ..obs.spans import (
+    SpanRecord,
+    SpanStore,
+    perf_to_epoch_us,
+    reparent_spans,
+    spans_from_tracer,
+    spans_to_chrome,
 )
 from ..phases import RunReport
 from ..request import RunRequest
@@ -100,6 +110,15 @@ class ServiceConfig:
     access_log: Optional[str] = None
     #: Ring-buffer capacity of the /debug/requests journal.
     journal_size: int = 256
+    #: Master switch for distributed tracing: W3C ``traceparent``
+    #: propagation, per-stage + per-phase span records, and the
+    #: ``GET /debug/trace/{trace_id}`` span store.  Like telemetry,
+    #: responses are byte-identical either way (pinned by tests).
+    tracing: bool = True
+    #: How many recent traces the in-memory span store retains.
+    trace_capacity: int = 128
+    #: Per-trace span cap; spans beyond it are counted as dropped.
+    trace_spans: int = 2048
 
 
 def _isolated_run(request: RunRequest) -> RunReport:
@@ -107,6 +126,34 @@ def _isolated_run(request: RunRequest) -> RunReport:
     from ..algorithms.runner import execute_request
 
     return execute_request(request).report
+
+
+def _isolated_traced_run(request: RunRequest) -> Dict[str, Any]:
+    """Sweep worker: simulate one request AND ship its spans back.
+
+    The worker records per-phase spans under a local tracer, converts
+    them to wire-form span records (absolute wall-clock, no trace
+    identity yet — fork shares the parent's clocks), and returns them
+    over the existing result pipe; the parent re-parents them under its
+    ``serve.simulate`` span via :func:`~repro.obs.spans.reparent_spans`.
+    """
+    import os
+
+    from ..algorithms.runner import execute_request
+    from ..obs import make_observability
+    from ..obs.spans import epoch_us_now
+
+    base_us = epoch_us_now()
+    obs = make_observability()
+    report = execute_request(request, obs=obs).report
+    spans = spans_from_tracer(
+        obs.tracer,
+        trace_id="",
+        parent_id=None,
+        base_us=base_us,
+        process=f"worker-{os.getpid()}",
+    )
+    return {"report": report, "spans": [span.to_dict() for span in spans]}
 
 
 class SimulationService:
@@ -126,6 +173,19 @@ class SimulationService:
             if self.config.access_log is not None
             else None
         )
+        self.spans = (
+            SpanStore(
+                max_traces=self.config.trace_capacity,
+                max_spans_per_trace=self.config.trace_spans,
+            )
+            if self.config.tracing
+            else None
+        )
+        # Recently finished leaders' simulate spans, keyed by canonical
+        # cache key: a coalesced follower looks its leader up here to
+        # emit the cross-trace link span.  Bounded — links on very old
+        # leaders just degrade to plain coalesce-wait spans.
+        self._leader_spans = LruCache(max(16, self.config.trace_capacity))
         # Pre-register every service instrument so concurrent first
         # touches never race on the registry's get-or-create dict.
         self.registry.counter(REQUESTS_METRIC)
@@ -173,12 +233,26 @@ class SimulationService:
         return lambda seconds: self._observe_latency(name, seconds)
 
     # -- per-request telemetry ------------------------------------------
-    def begin_request(self) -> RequestContext:
-        """Admit one HTTP request: assign its ID, stamp its start."""
-        return RequestContext(
+    def begin_request(self, traceparent: Optional[str] = None) -> RequestContext:
+        """Admit one HTTP request: assign its ID, stamp its start.
+
+        With tracing enabled the request joins the client's trace when
+        a well-formed W3C ``traceparent`` header came along, and roots
+        a fresh trace otherwise, so every served request is traceable.
+        """
+        ctx = RequestContext(
             request_id=self._request_ids.next_id(),
             started=time.perf_counter(),
         )
+        if self.spans is not None:
+            remote = parse_traceparent(traceparent)
+            if remote is not None:
+                ctx.trace_id = remote.trace_id
+                ctx.parent_span_id = remote.span_id
+            else:
+                ctx.trace_id = new_trace_id()
+            ctx.span_id = new_span_id()
+        return ctx
 
     def finish_request(
         self,
@@ -189,7 +263,7 @@ class SimulationService:
         status: int,
         error: Optional[BaseException] = None,
     ) -> None:
-        """Close out one request: histogram, journal, access log."""
+        """Close out one request: histogram, journal, access log, spans."""
         total_s = time.perf_counter() - ctx.started
         if error is not None:
             ctx.outcome = _error_outcome(error)
@@ -199,9 +273,54 @@ class SimulationService:
         if self.telemetry:
             self._observe_latency(TOTAL_METRIC, total_s)
             self.journal.append(record)
+        if self.spans is not None and ctx.trace_id is not None:
+            self._flush_spans(ctx, status=status, total_s=total_s)
         if self.access_log is not None:
             fields = {k: v for k, v in record.items() if k != "status"}
             self.access_log.write(method, path, status, **fields)
+
+    def _flush_spans(
+        self, ctx: RequestContext, *, status: int, total_s: float
+    ) -> None:
+        """Assemble and store this request's span tree.
+
+        Runs before the response bytes leave (like the journal append),
+        so a client that has seen its response finds the stitched trace
+        at ``/debug/trace/{trace_id}`` — read-your-writes.
+        """
+        spans = [
+            SpanRecord(
+                trace_id=ctx.trace_id,
+                span_id=ctx.span_id,
+                parent_id=ctx.parent_span_id,
+                name="serve.request",
+                category="serve",
+                status="ok" if status < 400 else "error",
+                process="serve",
+                start_us=perf_to_epoch_us(ctx.started),
+                duration_us=total_s * 1e6,
+                attributes={
+                    "request_id": ctx.request_id,
+                    "outcome": ctx.outcome,
+                    "http.status": status,
+                },
+            )
+        ]
+        if ctx.queue_entered is not None and ctx.queue_wait_s is not None:
+            spans.append(
+                SpanRecord(
+                    trace_id=ctx.trace_id,
+                    span_id=new_span_id(),
+                    parent_id=ctx.span_id,
+                    name="serve.queue_wait",
+                    category="serve",
+                    process="serve",
+                    start_us=perf_to_epoch_us(ctx.queue_entered),
+                    duration_us=ctx.queue_wait_s * 1e6,
+                )
+            )
+        spans.extend(ctx.spans)
+        self.spans.add(spans)
 
     def log_access(self, method: str, path: str, status: int) -> None:
         """Access-log one non-/run request (no journal entry)."""
@@ -217,6 +336,37 @@ class SimulationService:
             "capacity": self.journal.capacity,
             "requests": self.journal.tail(limit),
         }
+
+    def traces_payload(self) -> Dict[str, Any]:
+        """The ``GET /debug/traces`` body: known trace IDs, newest last."""
+        if self.spans is None:
+            return {"enabled": False, "traces": []}
+        return {
+            "enabled": True,
+            "traces": self.spans.trace_ids(),
+            "dropped_spans": self.spans.dropped_spans,
+        }
+
+    def trace_payload(
+        self, trace_id: str, *, raw: bool = False
+    ) -> Optional[Dict[str, Any]]:
+        """The ``GET /debug/trace/{trace_id}`` body; ``None`` if unknown.
+
+        Default form is a stitched Chrome ``trace_event`` document ready
+        for ``ui.perfetto.dev``; ``?raw=1`` returns the schema-versioned
+        span records instead.
+        """
+        if self.spans is None:
+            return None
+        spans = self.spans.get(trace_id)
+        if not spans:
+            return None
+        if raw:
+            return {
+                "trace_id": trace_id,
+                "spans": [span.to_dict() for span in spans],
+            }
+        return spans_to_chrome(spans)
 
     # -- request path ---------------------------------------------------
     def handle_run(
@@ -236,6 +386,7 @@ class SimulationService:
             if ctx is not None:
                 ctx.outcome = OUTCOME_CACHED
         else:
+            wait_started = time.perf_counter()
             report = self._singleflight.do(
                 request.cache_key(),
                 lambda: self._run_queued(request, ctx),
@@ -244,7 +395,39 @@ class SimulationService:
             if ctx is not None and ctx.outcome is None:
                 # Our closure never ran: a concurrent leader's did.
                 ctx.outcome = OUTCOME_COALESCED
+                if self.spans is not None and ctx.trace_id is not None:
+                    self._record_coalesce_span(ctx, request, wait_started)
         return run_response(request, report)
+
+    def _record_coalesce_span(
+        self, ctx: RequestContext, request: RunRequest, wait_started: float
+    ) -> None:
+        """A follower's wait span, linked to its leader's simulate span.
+
+        The link crosses traces: the leader simulated under *its own*
+        request's ``trace_id``, so the follower's trace records a link
+        — not a parent edge — pointing at that span.
+        """
+        links = []
+        leader = self._leader_spans.get(request.cache_key())
+        if leader is not None:
+            leader_trace_id, leader_span_id = leader
+            links.append(
+                {"trace_id": leader_trace_id, "span_id": leader_span_id}
+            )
+        ctx.spans.append(
+            SpanRecord(
+                trace_id=ctx.trace_id,
+                span_id=new_span_id(),
+                parent_id=ctx.span_id,
+                name="serve.coalesce_wait",
+                category="serve",
+                process="serve",
+                start_us=perf_to_epoch_us(wait_started),
+                duration_us=(time.perf_counter() - wait_started) * 1e6,
+                links=links,
+            )
+        )
 
     def _run_queued(
         self, request: RunRequest, ctx: Optional[RequestContext]
@@ -260,6 +443,7 @@ class SimulationService:
         finally:
             if ctx is not None:
                 ctx.queue_wait_s = task.queue_wait_s
+                ctx.queue_entered = task.submitted_at
 
     def _simulate(
         self, request: RunRequest, ctx: Optional[RequestContext] = None
@@ -277,25 +461,84 @@ class SimulationService:
         if report is not None:
             return report
         self._count(SIMULATIONS_METRIC)
+        traced = (
+            self.spans is not None and ctx is not None and ctx.trace_id is not None
+        )
+        sim_span_id = new_span_id() if traced else None
         started = time.perf_counter()
+        child_spans: list = []
         if self.config.run_isolated:
-            report = self._simulate_isolated(request)
+            report, worker_spans = self._simulate_isolated(
+                request, with_spans=traced
+            )
+            if traced:
+                child_spans = reparent_spans(
+                    worker_spans,
+                    trace_id=ctx.trace_id,
+                    parent_id=sim_span_id,
+                    source="isolated worker",
+                )
+        elif traced:
+            from ..obs import make_observability
+
+            obs = make_observability()
+            report = execute_request(request, obs=obs).report
+            child_spans = spans_from_tracer(
+                obs.tracer,
+                trace_id=ctx.trace_id,
+                parent_id=sim_span_id,
+                base_us=perf_to_epoch_us(started),
+                process="serve",
+            )
         else:
             report = execute_request(request).report
         simulate_s = time.perf_counter() - started
         if ctx is not None:
             ctx.simulate_s = simulate_s
+            ctx.simulate_started = started
+        if traced:
+            ctx.sim_span_id = sim_span_id
+            ctx.spans.append(
+                SpanRecord(
+                    trace_id=ctx.trace_id,
+                    span_id=sim_span_id,
+                    parent_id=ctx.span_id,
+                    name="serve.simulate",
+                    category="serve",
+                    process="serve",
+                    start_us=perf_to_epoch_us(started),
+                    duration_us=simulate_s * 1e6,
+                    attributes={
+                        "algorithm": request.algorithm,
+                        "mode": request.mode,
+                        "isolated": self.config.run_isolated,
+                    },
+                )
+            )
+            ctx.spans.extend(child_spans)
+            # Publish so coalesced followers can link to this span.
+            self._leader_spans.put(
+                request.cache_key(), (ctx.trace_id, sim_span_id)
+            )
         if self.telemetry:
             self._observe_latency(SIMULATE_METRIC, simulate_s)
         put_cached_report(request, report)
         return report
 
-    def _simulate_isolated(self, request: RunRequest) -> RunReport:
-        """Run in a killable child process (hard per-request timeout)."""
+    def _simulate_isolated(
+        self, request: RunRequest, *, with_spans: bool = False
+    ) -> Tuple[RunReport, list]:
+        """Run in a killable child process (hard per-request timeout).
+
+        With ``with_spans`` the child also records per-phase spans and
+        ships their wire form back over the result pipe; they come back
+        trace-less (``trace_id=""``) for the caller to re-parent.
+        """
+        worker = _isolated_traced_run if with_spans else _isolated_run
         try:
             outcomes = run_sweep(
                 [request],
-                _isolated_run,
+                worker,
                 jobs=2,  # >1 forces process isolation even for one task
                 timeout_s=self.config.request_timeout_s,
                 retries=0,
@@ -308,7 +551,10 @@ class SimulationService:
                     f"{self.config.request_timeout_s}s"
                 ) from failure
             raise ServiceError(f"isolated simulation failed: {failure}") from failure
-        return outcomes[0].value
+        value = outcomes[0].value
+        if with_spans:
+            return value["report"], value["spans"]
+        return value, []
 
     # -- introspection / lifecycle --------------------------------------
     def health(self) -> Dict[str, Any]:
@@ -434,6 +680,26 @@ class RequestHandler(BaseHTTPRequestHandler):
             limit = _journal_limit(parsed.query)
             self._send(200, encode(self.service.journal_payload(limit)))
             self.service.log_access("GET", parsed.path, 200)
+        elif parsed.path == "/debug/traces":
+            self._send(200, encode(self.service.traces_payload()))
+            self.service.log_access("GET", parsed.path, 200)
+        elif parsed.path.startswith("/debug/trace/"):
+            trace_id = parsed.path[len("/debug/trace/") :]
+            raw = "1" in urllib.parse.parse_qs(parsed.query).get("raw", [])
+            payload = self.service.trace_payload(trace_id, raw=raw)
+            if payload is None:
+                self._send(
+                    404,
+                    encode(
+                        error_payload(
+                            404, "unknown-trace", f"no trace {trace_id!r}"
+                        )
+                    ),
+                )
+                self.service.log_access("GET", parsed.path, 404)
+            else:
+                self._send(200, encode(payload))
+                self.service.log_access("GET", parsed.path, 200)
         else:
             self._not_found()
 
@@ -441,8 +707,12 @@ class RequestHandler(BaseHTTPRequestHandler):
         if self.path != "/run":
             self._not_found()
             return
-        ctx = self.service.begin_request()
-        rid_header = (("X-Request-Id", ctx.request_id),)
+        ctx = self.service.begin_request(self.headers.get("traceparent"))
+        rid_header: Tuple[Tuple[str, str], ...] = (
+            ("X-Request-Id", ctx.request_id),
+        )
+        if ctx.trace_id is not None:
+            rid_header += (("X-Trace-Id", ctx.trace_id),)
         error: Optional[BaseException] = None
         try:
             length = int(self.headers.get("Content-Length", "0"))

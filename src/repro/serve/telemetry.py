@@ -23,7 +23,7 @@ import sys
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 # -- outcome vocabulary (journal + access log) --------------------------
@@ -53,7 +53,15 @@ def _round_ms(seconds: Optional[float]) -> Optional[float]:
 
 @dataclass
 class RequestContext:
-    """Mutable per-request telemetry carried through the request path."""
+    """Mutable per-request telemetry carried through the request path.
+
+    When tracing is enabled the context also carries the request's
+    trace identity — the ``trace_id`` propagated from (or minted for)
+    the client, the server's own request ``span_id``, and the client's
+    ``parent_span_id`` — plus the stage timestamps and accumulated
+    :class:`~repro.obs.spans.SpanRecord` children the service flushes
+    to its span store when the request finishes.
+    """
 
     request_id: str
     started: float  # perf_counter at admission
@@ -61,11 +69,21 @@ class RequestContext:
     outcome: Optional[str] = None
     queue_wait_s: Optional[float] = None
     simulate_s: Optional[float] = None
+    # -- distributed tracing (None everywhere when tracing is off) ------
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None  # the serve.request span
+    parent_span_id: Optional[str] = None  # the client's span, if propagated
+    sim_span_id: Optional[str] = None  # the serve.simulate span (leaders)
+    queue_entered: Optional[float] = None  # perf_counter at queue submit
+    simulate_started: Optional[float] = None  # perf_counter at worker pickup
+    spans: List[Any] = field(default_factory=list)
 
     def record(self, *, status: int, total_s: float) -> Dict[str, Any]:
         """The journal/access-log form of this request's telemetry."""
         return {
             "request_id": self.request_id,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
             "cache_key": self.cache_key,
             "outcome": self.outcome,
             "status": status,

@@ -255,7 +255,8 @@ class TestEndToEnd:
             datasets=("delaunay",),
             modes=("gpu", "scu-basic"),
         )
-        artifact = run_loadtest(config, tag="test")
+        trace_path = tmp_path / "loadtest-trace.json"
+        artifact = run_loadtest(config, tag="test", trace_out=str(trace_path))
         assert artifact.kind == SERVE_KIND
         assert artifact.totals["requests"] == 12
         assert artifact.totals["ok"] == 12
@@ -274,3 +275,117 @@ class TestEndToEnd:
         assert compare_serve_artifacts(artifact, artifact).ok
         path = artifact.save(tmp_path / "BENCH_serve_test.json")
         assert json.loads(path.read_text())["kind"] == SERVE_KIND
+        # offenders join client observations to server-minted IDs
+        slowest = artifact.offenders["slowest"]
+        assert 0 < len(slowest) <= 12
+        assert all(row["request_id"].startswith("req-") for row in slowest)
+        assert all(len(row["trace_id"]) == 32 for row in slowest)
+        assert slowest == sorted(
+            slowest, key=lambda row: -row["latency_ms"]
+        )
+        # every request succeeded, so no shed-load offender lists exist
+        assert "rejected_429" not in artifact.offenders
+        assert "timeout_504" not in artifact.offenders
+        # the slowest successful request's stitched trace was written
+        doc = json.loads(trace_path.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in slices}
+        assert {"client.request", "serve.request"} <= names
+        assert doc["otherData"]["trace_id"] == slowest[0]["trace_id"]
+
+
+# ---------------------------------------------------------------------------
+# Client trace identity and the offenders block
+# ---------------------------------------------------------------------------
+
+from repro.bench.loadtest import (  # noqa: E402
+    OFFENDER_LIMIT,
+    client_trace_context,
+    collect_offenders,
+)
+from repro.obs.propagation import format_traceparent, parse_traceparent  # noqa: E402
+
+
+class TestClientTraceContext:
+    def test_deterministic_and_decodable(self):
+        context = client_trace_context(seed=42, index=12)
+        again = client_trace_context(seed=42, index=12)
+        assert context == again
+        # trace id = seed (high 64 bits) ++ 1-based index (low 64 bits)
+        assert context.trace_id == f"{42:016x}{13:016x}"
+        assert context.span_id == f"{13:016x}"
+
+    def test_distinct_per_request_and_per_seed(self):
+        ids = {
+            client_trace_context(seed, index).trace_id
+            for seed in (1, 2)
+            for index in range(5)
+        }
+        assert len(ids) == 10
+
+    def test_index_zero_is_never_an_all_zero_span(self):
+        context = client_trace_context(seed=0x1234, index=0)
+        assert context.span_id != "0" * 16
+        # the wire form the loadtest sends parses back to the same context
+        assert parse_traceparent(format_traceparent(context)) == context
+
+
+class TestOffenders:
+    def _result(self, index, status, latency_s):
+        return RequestResult(
+            index=index,
+            key_index=index % 3,
+            status=status,
+            latency_s=latency_s,
+            request_id=f"req-{index:06d}",
+            trace_id=f"{index + 1:032x}",
+        )
+
+    def test_buckets_by_status_and_ranks_by_latency(self):
+        results = [
+            self._result(0, 200, 0.010),
+            self._result(1, 504, 0.500),
+            self._result(2, 429, 0.001),
+            self._result(3, 200, 0.200),
+            self._result(4, 504, 0.900),
+        ]
+        offenders = collect_offenders(results)
+        assert [r["request_id"] for r in offenders["slowest"][:2]] == [
+            "req-000004",
+            "req-000001",
+        ]
+        assert [r["request_id"] for r in offenders["timeout_504"]] == [
+            "req-000004",
+            "req-000001",
+        ]
+        assert [r["request_id"] for r in offenders["rejected_429"]] == [
+            "req-000002"
+        ]
+        row = offenders["slowest"][0]
+        assert row["trace_id"] == f"{5:032x}"
+        assert row["latency_ms"] == pytest.approx(900.0)
+        assert row["status"] == 504
+
+    def test_lists_are_bounded_and_empty_ones_pruned(self):
+        results = [
+            self._result(i, 200, float(i) / 1000) for i in range(25)
+        ]
+        offenders = collect_offenders(results)
+        assert len(offenders["slowest"]) == OFFENDER_LIMIT
+        assert "rejected_429" not in offenders
+        assert "timeout_504" not in offenders
+        assert collect_offenders([]) == {}
+
+    def test_artifact_round_trips_offenders(self, tmp_path):
+        offenders = collect_offenders([self._result(0, 504, 1.0)])
+        artifact = _artifact(offenders=offenders)
+        path = artifact.save(tmp_path / "BENCH_serve_off.json")
+        loaded = ServeArtifact.load(path)
+        assert loaded.offenders == offenders
+        assert loaded.to_dict() == artifact.to_dict()
+
+    def test_artifacts_without_offenders_still_load(self):
+        # Pre-offenders artifacts (and hand-built payloads) stay readable.
+        payload = _artifact().to_dict()
+        payload.pop("offenders", None)
+        assert ServeArtifact.from_dict(payload).offenders == {}

@@ -483,6 +483,36 @@ class TestBucketedHistograms:
         assert quantile_from_buckets(cumulative, 0.99) == pytest.approx(9.9)
         assert quantile_from_buckets([], 0.5) == 0.0
 
+    def test_quantile_from_buckets_empty_histogram(self):
+        # No buckets at all, and buckets that never saw an observation,
+        # both answer 0.0 rather than raising or returning NaN.
+        assert quantile_from_buckets([], 0.99) == 0.0
+        assert quantile_from_buckets([(10.0, 0.0), (math.inf, 0.0)], 0.5) == 0.0
+
+    def test_quantile_from_buckets_all_in_inf_bucket(self):
+        # Every observation above the largest finite bound: without an
+        # observed max the estimate collapses to the last finite bound
+        # (never a fabricated +Inf); ``hi`` re-opens interpolation.
+        everything_above = [(10.0, 0.0), (math.inf, 5.0)]
+        assert quantile_from_buckets(everything_above, 0.9) == pytest.approx(10.0)
+        assert quantile_from_buckets(
+            everything_above, 0.9, hi=20.0
+        ) == pytest.approx(19.0)
+        # Degenerate single +Inf bucket: no finite bound to fall back on.
+        assert quantile_from_buckets([(math.inf, 5.0)], 0.5) == 0.0
+        assert quantile_from_buckets(
+            [(math.inf, 5.0)], 0.5, hi=3.0
+        ) == pytest.approx(1.5)
+
+    def test_quantile_from_buckets_single_observation(self):
+        one = [(1.0, 1.0), (math.inf, 1.0)]
+        # Any quantile interpolates inside the one occupied bucket ...
+        assert quantile_from_buckets(one, 0.5) == pytest.approx(0.5)
+        assert quantile_from_buckets(one, 0.99) == pytest.approx(0.99)
+        # ... and lo/hi clamp the estimate into the observed range.
+        clamped = quantile_from_buckets(one, 0.5, lo=0.8, hi=0.9)
+        assert 0.8 <= clamped <= 0.9
+
     def test_prometheus_exposition_has_buckets_and_types(self):
         from repro.obs import check_exposition
 

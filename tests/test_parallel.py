@@ -277,3 +277,150 @@ class TestRunBenchDeterminism:
         )
         names = {entry["metric"] for entry in artifact.metrics}
         assert any(name.startswith("mem.") for name in names)
+
+
+# ---------------------------------------------------------------------------
+# Span collection across forked workers (distributed tracing)
+# ---------------------------------------------------------------------------
+
+from repro.harness.parallel import stitch_cell_spans  # noqa: E402
+from repro.obs.spans import (  # noqa: E402
+    SpanRecord,
+    count_sim_phase_spans,
+    reparent_spans,
+)
+
+STITCH_TRACE = "9" * 32
+STITCH_PARENT = "a" * 16
+
+
+def flaky_spans(task):
+    """Crash hard on the first attempt; ship a span batch on the retry.
+
+    Models a traced worker that gets OOM-killed mid-cell: the scheduler
+    must end up with only the *successful* attempt's spans (the crashed
+    attempt never sent any), and those must still re-parent cleanly.
+    """
+    marker, label = task
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("attempted")
+        os._exit(1)
+    root = SpanRecord(
+        trace_id="",
+        span_id="1" * 16,
+        name=f"{label}.root",
+        category="sim",
+        process=f"worker-{os.getpid()}",
+        start_us=1_000.0,
+        duration_us=500.0,
+    )
+    child = SpanRecord(
+        trace_id="",
+        span_id="2" * 16,
+        parent_id=root.span_id,
+        name=f"{label}.child",
+        category="gpu-kernel",
+        process=root.process,
+        start_us=1_100.0,
+        duration_us=200.0,
+    )
+    return [root.to_dict(), child.to_dict()]
+
+
+class TestSweepTracing:
+    def test_spans_survive_worker_crash_and_reparent(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        (outcome,) = run_sweep(
+            [(marker, "bfs")], flaky_spans, jobs=2, retries=1
+        )
+        assert outcome.attempts == 2  # crash, then the attempt that shipped
+        assert not outcome.fell_back
+        adopted = reparent_spans(
+            outcome.value, trace_id=STITCH_TRACE, parent_id=STITCH_PARENT
+        )
+        by_name = {span.name: span for span in adopted}
+        # The worker's root was adopted under the new parent; the edge
+        # *inside* the batch survived the crash/retry round trip.
+        assert by_name["bfs.root"].parent_id == STITCH_PARENT
+        assert by_name["bfs.child"].parent_id == by_name["bfs.root"].span_id
+        assert all(span.trace_id == STITCH_TRACE for span in adopted)
+
+    def test_collect_spans_ships_trace_less_worker_spans(self):
+        cell = SweepCell(
+            algorithm="bfs",
+            dataset="human",
+            gpu="TX1",
+            mode=SystemMode.GPU,
+            collect_spans=True,
+        )
+        (outcome,) = sweep_cells([cell], jobs=2, prime_cache=False)
+        spans = outcome.payload.spans
+        assert spans  # per-phase spans came over the result pipe
+        assert all(span["trace_id"] == "" for span in spans)
+        assert all(span["process"].startswith("worker-") for span in spans)
+        assert any(span["parent_id"] is None for span in spans)  # local roots
+
+    def test_collect_spans_does_not_change_the_report(self):
+        traced_cell = SweepCell(
+            algorithm="bfs",
+            dataset="human",
+            gpu="TX1",
+            mode=SystemMode.GPU,
+            collect_spans=True,
+        )
+        (plain,) = sweep_cells([CELL], jobs=1, prime_cache=False)
+        (traced,) = sweep_cells([traced_cell], jobs=1, prime_cache=False)
+        assert plain.payload.spans == ()  # off by default: no pipe cost
+        assert _sim_fingerprint(plain.payload.report) == _sim_fingerprint(
+            traced.payload.report
+        )
+
+    def test_stitch_cell_spans_builds_one_trace(self):
+        modes = list(SystemMode)[:2]
+        cells = [
+            SweepCell(
+                algorithm="bfs",
+                dataset="human",
+                gpu="TX1",
+                mode=mode,
+                collect_spans=True,
+            )
+            for mode in modes
+        ]
+        outcomes = sweep_cells(cells, jobs=2, prime_cache=False)
+        stitched = stitch_cell_spans(
+            outcomes, trace_id=STITCH_TRACE, parent_id=STITCH_PARENT
+        )
+        cell_spans = [s for s in stitched if s.name == "sweep.cell"]
+        assert len(cell_spans) == len(modes)
+        assert [s.attributes["label"] for s in cell_spans] == [
+            cell.label() for cell in cells
+        ]
+        assert all(s.parent_id == STITCH_PARENT for s in cell_spans)
+        assert all(s.trace_id == STITCH_TRACE for s in stitched)
+        # Every non-cell span chains back into the stitched tree ...
+        span_ids = {s.span_id for s in stitched}
+        assert all(
+            s.parent_id in span_ids for s in stitched if s.name != "sweep.cell"
+        )
+        # ... and each cell span brackets its own children in time.
+        by_id = {s.span_id: s for s in stitched}
+        for span in stitched:
+            if span.name == "sweep.cell":
+                continue
+            top = span
+            while top.parent_id in by_id:
+                top = by_id[top.parent_id]
+            assert top.start_us <= span.start_us
+            assert span.end_us <= top.end_us + 1.0  # float slack
+        assert count_sim_phase_spans(stitched) >= len(modes)
+
+    def test_stitch_without_spans_synthesizes_the_cell_bracket(self):
+        (outcome,) = sweep_cells([CELL], jobs=1, prime_cache=False)
+        (only,) = stitch_cell_spans([outcome], trace_id=STITCH_TRACE)
+        assert only.name == "sweep.cell"
+        assert only.parent_id is None
+        assert only.duration_us >= 0.0
+        assert only.attributes["label"] == CELL.label()
+        assert only.attributes["attempts"] == outcome.attempts

@@ -709,3 +709,233 @@ class TestRequestTelemetry:
             httpd.server_close()
             service.drain(timeout_s=10.0)
             clear_run_cache()
+
+
+# ---------------------------------------------------------------------------
+# Distributed tracing over HTTP
+# ---------------------------------------------------------------------------
+
+from repro.obs.spans import SIM_SPAN_CATEGORIES  # noqa: E402
+
+CLIENT_TRACE = "a" * 31 + "b"
+CLIENT_SPAN = "c" * 15 + "d"
+TRACEPARENT = f"00-{CLIENT_TRACE}-{CLIENT_SPAN}-01"
+
+
+def _post_traced(base, body, traceparent, timeout=60.0):
+    headers = {"Content-Type": "application/json"}
+    if traceparent is not None:
+        headers["traceparent"] = traceparent
+    request = urllib.request.Request(base + "/run", data=body, headers=headers)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, response.read(), dict(response.headers)
+
+
+def _get_trace(base, trace_id, raw=True):
+    suffix = "?raw=1" if raw else ""
+    with urllib.request.urlopen(
+        f"{base}/debug/trace/{trace_id}{suffix}", timeout=10.0
+    ) as response:
+        return json.loads(response.read())
+
+
+class TestTracing:
+    def test_traceparent_joins_client_trace(self, served):
+        _, base = served
+        status, _, headers = _post_traced(base, REQUEST_BODY, TRACEPARENT)
+        assert status == 200
+        assert headers["X-Trace-Id"] == CLIENT_TRACE
+
+        payload = _get_trace(base, CLIENT_TRACE)
+        assert payload["trace_id"] == CLIENT_TRACE
+        spans = payload["spans"]
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], span)
+        assert all(span["trace_id"] == CLIENT_TRACE for span in spans)
+
+        # The server's root span hangs off the client's span.
+        request_span = by_name["serve.request"]
+        assert request_span["parent_id"] == CLIENT_SPAN
+        assert request_span["status"] == "ok"
+        assert request_span["attributes"]["outcome"] == "simulated"
+        assert request_span["attributes"]["http.status"] == 200
+
+        # Queue wait and simulate are children of the request span.
+        assert by_name["serve.queue_wait"]["parent_id"] == request_span["span_id"]
+        simulate = by_name["serve.simulate"]
+        assert simulate["parent_id"] == request_span["span_id"]
+        assert simulate["attributes"]["algorithm"] == "bfs"
+
+        # Per-phase simulation spans came along, under the simulate span.
+        phases = [s for s in spans if s["category"] in SIM_SPAN_CATEGORIES]
+        assert len(phases) >= 1
+        parent_ids = {span["span_id"] for span in spans}
+        assert all(
+            span["parent_id"] in parent_ids for span in phases
+        )  # no orphans: every phase chains back into the tree
+
+    def test_malformed_traceparent_mints_fresh_trace(self, served):
+        _, base = served
+        status, _, headers = _post_traced(base, REQUEST_BODY, "00-junk-junk-01")
+        assert status == 200
+        trace_id = headers["X-Trace-Id"]
+        assert len(trace_id) == 32 and trace_id != CLIENT_TRACE
+        payload = _get_trace(base, trace_id)
+        request_span = next(
+            s for s in payload["spans"] if s["name"] == "serve.request"
+        )
+        assert request_span["parent_id"] is None  # fresh root, no fake parent
+
+    def test_journal_rows_join_traces(self, served):
+        _, base = served
+        _, _, headers = _post_traced(base, REQUEST_BODY, TRACEPARENT)
+        with urllib.request.urlopen(
+            base + "/debug/requests", timeout=10.0
+        ) as response:
+            journal = json.loads(response.read())["requests"]
+        row = journal[-1]
+        assert row["trace_id"] == headers["X-Trace-Id"] == CLIENT_TRACE
+        request_span = next(
+            s
+            for s in _get_trace(base, CLIENT_TRACE)["spans"]
+            if s["name"] == "serve.request"
+        )
+        assert row["span_id"] == request_span["span_id"]
+
+    def test_debug_traces_lists_known_traces(self, served):
+        _, base = served
+        _post_traced(base, REQUEST_BODY, TRACEPARENT)
+        with urllib.request.urlopen(base + "/debug/traces", timeout=10.0) as r:
+            payload = json.loads(r.read())
+        assert payload["enabled"] is True
+        assert [t for t, _count in payload["traces"]] == [CLIENT_TRACE]
+        assert payload["traces"][0][1] >= 3  # request + queue + simulate...
+
+    def test_unknown_trace_is_404(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get_trace(base, "f" * 32)
+        assert excinfo.value.code == 404
+        assert json.loads(excinfo.value.read())["error"] == "unknown-trace"
+
+    def test_chrome_form_is_default(self, served):
+        _, base = served
+        _post_traced(base, REQUEST_BODY, TRACEPARENT)
+        doc = _get_trace(base, CLIENT_TRACE, raw=False)
+        assert doc["otherData"]["trace_id"] == CLIENT_TRACE
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert any(e["name"] == "serve.request" for e in slices)
+
+    def test_follower_links_to_leader_simulate_span(self):
+        clear_run_cache()
+        service = CoalescingGatedService(ServiceConfig(port=0))
+        service.expected = 1
+        httpd, base = _start(service)
+        try:
+            leader_tp = f"00-{'1' * 32}-{'1' * 16}-01"
+            follower_tp = f"00-{'2' * 32}-{'2' * 16}-01"
+            results = {}
+
+            def run(name, traceparent):
+                results[name] = _post_traced(base, REQUEST_BODY, traceparent)
+
+            first = threading.Thread(target=run, args=("a", leader_tp))
+            first.start()
+            # Let the first request become the single-flight leader
+            # (its gated simulation blocks until someone coalesces).
+            time.sleep(0.3)
+            second = threading.Thread(target=run, args=("b", follower_tp))
+            second.start()
+            first.join(60.0)
+            second.join(60.0)
+            assert results["a"][0] == 200 and results["b"][0] == 200
+            assert results["a"][1] == results["b"][1]  # same response bytes
+
+            spans = {
+                trace: _get_trace(base, trace)["spans"]
+                for trace in ("1" * 32, "2" * 32)
+            }
+            link_spans = [
+                s
+                for trace in spans.values()
+                for s in trace
+                if s["name"] == "serve.coalesce_wait" and s.get("links")
+            ]
+            assert len(link_spans) == 1  # exactly one follower
+            (link,) = link_spans[0]["links"]
+            # The link lands on the *other* trace's simulate span.
+            leader_trace = link["trace_id"]
+            assert leader_trace != link_spans[0]["trace_id"]
+            leader_simulate = next(
+                s for s in spans[leader_trace] if s["name"] == "serve.simulate"
+            )
+            assert link["span_id"] == leader_simulate["span_id"]
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
+            clear_run_cache()
+
+    def test_isolated_worker_spans_are_stitched_in(self):
+        clear_run_cache()
+        service = SimulationService(ServiceConfig(port=0, run_isolated=True))
+        httpd, base = _start(service)
+        try:
+            status, _, headers = _post_traced(base, REQUEST_BODY, TRACEPARENT)
+            assert status == 200
+            spans = _get_trace(base, headers["X-Trace-Id"])["spans"]
+            worker_spans = [
+                s for s in spans if s["process"].startswith("worker-")
+            ]
+            assert worker_spans  # the forked child's spans came back
+            assert any(
+                s["category"] in SIM_SPAN_CATEGORIES for s in worker_spans
+            )
+            # Worker roots hang under the parent's simulate span.
+            simulate = next(s for s in spans if s["name"] == "serve.simulate")
+            span_ids = {s["span_id"] for s in spans}
+            assert all(
+                s["parent_id"] in span_ids for s in worker_spans
+            )
+            assert any(
+                s["parent_id"] == simulate["span_id"] for s in worker_spans
+            )
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
+            clear_run_cache()
+
+    def test_tracing_off_is_byte_identical_and_dark(self, served):
+        # Traced reference response.
+        _, traced_body, traced_headers = _post_traced(
+            base := served[1], REQUEST_BODY, TRACEPARENT
+        )
+        # Same request against an untraced service, cold cache again.
+        clear_run_cache()
+        service = SimulationService(ServiceConfig(port=0, tracing=False))
+        httpd, dark_base = _start(service)
+        try:
+            status, dark_body, dark_headers = _post_traced(
+                dark_base, REQUEST_BODY, TRACEPARENT
+            )
+            assert status == 200
+            assert dark_body == traced_body  # tracing never changes results
+            assert "X-Trace-Id" in traced_headers
+            assert "X-Trace-Id" not in dark_headers
+            with urllib.request.urlopen(
+                dark_base + "/debug/traces", timeout=10.0
+            ) as response:
+                assert json.loads(response.read()) == {
+                    "enabled": False,
+                    "traces": [],
+                }
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get_trace(dark_base, CLIENT_TRACE)
+            assert excinfo.value.code == 404
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
+            clear_run_cache()
