@@ -107,15 +107,50 @@ RUN_CACHE_SIZE = 32
 
 _RUN_CACHE = LruCache(RUN_CACHE_SIZE, metrics_prefix="runner.cache")
 
+#: Optional L2 below the in-memory run cache: a persistent,
+#: content-addressed :class:`~repro.serve.store.ResultStore`.  ``None``
+#: (the default) keeps the historical single-tier behaviour; the serve
+#: daemon (``--store-dir``) and the CLI install one for cold-start
+#: reuse.  Reads promote into L1; writes go to both tiers.
+_RESULT_STORE = None
 
-def get_cached_report(request: RunRequest) -> Optional[RunReport]:
-    """Look up a memoized report under the request's canonical key."""
-    return _RUN_CACHE.get(request.cache_key())
+
+def set_result_store(store) -> None:
+    """Install (or with ``None`` remove) the process-wide L2 store."""
+    global _RESULT_STORE
+    _RESULT_STORE = store
+
+
+def get_result_store():
+    """The installed L2 result store, or ``None``."""
+    return _RESULT_STORE
+
+
+def get_cached_report(request: RunRequest, *, with_tier: bool = False):
+    """Read through the tiered cache: L1 (memory) then L2 (disk).
+
+    An L2 hit is promoted into L1, so the disk is touched once per key
+    per process lifetime under steady load.  With ``with_tier`` the
+    return value is ``(report, tier)`` where tier is ``"l1"``, ``"l2"``
+    or ``None`` — the serve telemetry layer uses it to attribute hits.
+    """
+    report = _RUN_CACHE.get(request.cache_key())
+    tier: Optional[str] = "l1" if report is not None else None
+    if report is None and _RESULT_STORE is not None:
+        report = _RESULT_STORE.get(request)
+        if report is not None:
+            tier = "l2"
+            _RUN_CACHE.put(request.cache_key(), report)
+    if with_tier:
+        return report, tier
+    return report
 
 
 def put_cached_report(request: RunRequest, report: RunReport) -> None:
-    """Memoize a report under the request's canonical key."""
+    """Memoize a report in every tier under the request's canonical key."""
     _RUN_CACHE.put(request.cache_key(), report)
+    if _RESULT_STORE is not None:
+        _RESULT_STORE.put(request, report)
 
 
 def cached_run(

@@ -119,6 +119,13 @@ class LoadtestConfig:
     queue_depth: int = 8
     request_timeout_s: Optional[float] = None
     http_timeout_s: float = 120.0
+    #: >0 starts an in-process LocalCluster (that many worker daemons
+    #: behind the consistent-hash front) instead of a single server.
+    cluster_workers: int = 0
+    #: L2 result-store directory of the in-process server/cluster;
+    #: ``None`` keeps the memory-only tier.  A warm directory makes a
+    #: cold-start run serve from disk (the per-tier ratios show it).
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("closed", "open"):
@@ -151,6 +158,8 @@ class LoadtestConfig:
             queue_depth=self.queue_depth,
             request_timeout_s=self.request_timeout_s,
             http_timeout_s=self.http_timeout_s,
+            cluster_workers=self.cluster_workers,
+            store_dir=self.store_dir,
         )
         return payload
 
@@ -444,6 +453,8 @@ _SERVER_COUNTERS: Tuple[Tuple[str, str], ...] = (
     ("simulations", "serve_simulations"),
     ("coalesced", "serve_singleflight_coalesced_hits"),
     ("rejected", "serve_rejected"),
+    ("store_hits", "serve_store_hits"),
+    ("store_misses", "serve_store_misses"),
 )
 
 #: Stage-latency histograms whose bucket deltas yield server quantiles.
@@ -471,6 +482,18 @@ def summarize_server(before_text: str, after_text: str) -> Dict[str, Any]:
             "simulated": simulated / handled,
             "coalesced": coalesced / handled,
             "cached": cached / handled,
+        }
+        # Per-tier attribution of the cached hits: an L2 (disk store)
+        # hit counts in serve_store_hits; the remainder of the cached
+        # outcomes came straight from the in-memory L1.  Derived from
+        # serve-level counters only, so the split stays correct when a
+        # cluster front merges several workers' expositions.
+        l2_hits = min(counters["store_hits"], cached)
+        summary["tiers"] = {
+            "l1_hit_ratio": (cached - l2_hits) / handled,
+            "l2_hit_ratio": l2_hits / handled,
+            "simulated_ratio": simulated / handled,
+            "coalesced_ratio": coalesced / handled,
         }
     for label, name in _SERVER_HISTOGRAMS:
         delta = diff_cumulative(
@@ -596,7 +619,10 @@ def run_loadtest(
 
     With no ``url`` an in-process server is started on a free port (and
     the process-wide run cache cleared first, so cache/coalesce ratios
-    are a property of the workload, not of what ran before).  Every
+    are a property of the workload, not of what ran before); with
+    ``cluster_workers > 0`` it is a whole in-process LocalCluster — the
+    requests travel through the consistent-hash front exactly as they
+    would against ``repro cluster``.  Every
     request carries a deterministic W3C ``traceparent``
     (:func:`client_trace_context`); with ``trace_out`` the slowest
     successful request's stitched trace is fetched from
@@ -619,7 +645,24 @@ def run_loadtest(
     server = None
     service = None
     server_thread = None
-    if url is None:
+    cluster = None
+    if url is None and config.cluster_workers > 0:
+        from ..algorithms.runner import clear_run_cache
+        from ..serve.cluster import LocalCluster
+        from ..serve.server import ServiceConfig
+
+        clear_run_cache()
+        cluster = LocalCluster(
+            config.cluster_workers,
+            store_dir=config.store_dir,
+            worker_config=ServiceConfig(
+                workers=config.workers,
+                queue_depth=config.queue_depth,
+                request_timeout_s=config.request_timeout_s,
+            ),
+        )
+        url = cluster.url
+    elif url is None:
         from ..algorithms.runner import clear_run_cache
         from ..serve.server import ServiceConfig, SimulationService, make_server
 
@@ -630,6 +673,7 @@ def run_loadtest(
                 workers=config.workers,
                 queue_depth=config.queue_depth,
                 request_timeout_s=config.request_timeout_s,
+                store_dir=config.store_dir,
             )
         )
         server = make_server(service, port=0)
@@ -681,6 +725,8 @@ def run_loadtest(
                     f"{trace_out} not written"
                 )
     finally:
+        if cluster is not None:
+            cluster.close()
         if server is not None:
             server.shutdown()
             server.server_close()

@@ -23,7 +23,12 @@ Commands:
   ``GET /debug/requests``) with bounded admission, single-flight
   coalescing, run-cache reuse and per-request telemetry (``--port``,
   ``--workers``, ``--queue-depth``, ``--request-timeout``, ``--isolate``,
-  ``--access-log``, ``--no-telemetry``);
+  ``--access-log``, ``--no-telemetry``); ``--store-dir`` adds the
+  persistent L2 result store under the in-memory run cache;
+* ``cluster``                       — N serve workers behind a
+  consistent-hash front router: one simulation per unique request
+  cluster-wide, a shared ``--store-dir`` L2 tier, health-checked
+  workers and deterministic 503+retry on worker loss;
 * ``loadtest``                      — reproducible closed/open-loop load
   generator against ``repro serve`` (in-process by default, ``--url``
   for a live one); writes ``BENCH_serve_<tag>.json`` with latency
@@ -388,8 +393,28 @@ def _cmd_serve(args) -> int:
         journal_size=args.journal_size,
         tracing=not args.no_tracing,
         trace_capacity=args.trace_capacity,
+        store_dir=args.store_dir,
+        store_max_bytes=args.store_max_mb * 1024 * 1024,
     )
     return run_service(config)
+
+
+def _cmd_cluster(args) -> int:
+    from .serve import ClusterConfig, run_cluster
+
+    config = ClusterConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        worker_threads=args.worker_threads,
+        queue_depth=args.queue_depth,
+        request_timeout_s=args.request_timeout,
+        store_dir=args.store_dir,
+        store_max_bytes=args.store_max_mb * 1024 * 1024,
+        retry_after_s=args.retry_after,
+        health_interval_s=args.health_interval,
+    )
+    return run_cluster(config)
 
 
 #: Exit code of ``loadtest --slo`` when an objective is violated.
@@ -419,6 +444,8 @@ def _cmd_loadtest(args) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         request_timeout_s=args.request_timeout,
+        cluster_workers=args.cluster,
+        store_dir=args.store_dir,
     )
     tag = args.tag or short_git_sha()
     progress = None if args.no_progress else (lambda line: print(line))
@@ -727,7 +754,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-capacity", type=int, default=128, metavar="N",
         help="how many recent traces the span store retains (default 128)",
     )
+    serve_parser.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="persistent L2 result-store directory; cold starts serve "
+        "byte-identical responses from disk (default: memory only)",
+    )
+    serve_parser.add_argument(
+        "--store-max-mb", type=int, default=256, metavar="MB",
+        help="L2 store size bound; least-recently-used entries are "
+        "evicted beyond it (default 256)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    cluster_parser = commands.add_parser(
+        "cluster",
+        help="run N repro serve workers behind a consistent-hash front "
+        "router (cluster-wide single-flight)",
+    )
+    cluster_parser.add_argument("--host", default="127.0.0.1")
+    cluster_parser.add_argument(
+        "--port", type=int, default=8788,
+        help="front router port (0 picks a free port; default 8788)",
+    )
+    cluster_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker daemons to spawn (default 2)",
+    )
+    cluster_parser.add_argument(
+        "--worker-threads", type=int, default=2, metavar="N",
+        help="simulation worker pool inside each daemon (default 2)",
+    )
+    cluster_parser.add_argument(
+        "--queue-depth", type=int, default=8, metavar="N",
+        help="per-worker admission bound (default 8)",
+    )
+    cluster_parser.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline inside each worker (default: none)",
+    )
+    cluster_parser.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="shared L2 result-store directory mounted by every worker; "
+        "keys survive ring rebalances (default: memory only)",
+    )
+    cluster_parser.add_argument(
+        "--store-max-mb", type=int, default=256, metavar="MB",
+        help="shared store size bound (default 256)",
+    )
+    cluster_parser.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="Retry-After hint on routing 503s (default 1.0)",
+    )
+    cluster_parser.add_argument(
+        "--health-interval", type=float, default=1.0, metavar="SECONDS",
+        help="worker health sweep interval (default 1.0)",
+    )
+    cluster_parser.set_defaults(func=_cmd_cluster)
 
     loadtest_parser = commands.add_parser(
         "loadtest",
@@ -779,6 +861,18 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest_parser.add_argument(
         "--request-timeout", type=float, default=None, metavar="SECONDS",
         help="in-process server per-request deadline (ignored with --url)",
+    )
+    loadtest_parser.add_argument(
+        "--cluster", type=int, default=0, metavar="N",
+        help="drive an in-process N-worker cluster behind the "
+        "consistent-hash front instead of a single server "
+        "(ignored with --url; default 0 = single server)",
+    )
+    loadtest_parser.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="L2 result-store directory of the in-process "
+        "server/cluster; a warm directory makes the run cold-start "
+        "from disk (ignored with --url)",
     )
     loadtest_parser.add_argument(
         "--tag", default=None,

@@ -1,16 +1,26 @@
 """Bounded LRU cache with observability counters.
 
 One reusable cache class backs every memoized-result store in the
-repository — the whole-run cache of :mod:`repro.algorithms.runner` and
-the experiment-report cache of :mod:`repro.harness.experiments`.  Both
+repository — the whole-run cache of :mod:`repro.algorithms.runner`, the
+experiment-report cache of :mod:`repro.harness.experiments`, and the
+``repro serve`` daemon's leader-span cache.  Both of the report caches
 used to manage their own dictionaries (one of them unbounded); sharing
 the implementation means every cache is bounded, LRU-evicting, and
 reports ``<prefix>.hits`` / ``<prefix>.misses`` / ``<prefix>.evictions``
 into the process-wide metrics registry the same way.
+
+The cache is **thread-safe**: the serve daemon's ``ThreadingHTTPServer``
+hits the shared run cache and the leader-span cache from many handler
+threads at once, and an unlocked ``OrderedDict`` corrupts under
+concurrent ``move_to_end``/``popitem`` (a ``KeyError`` mid-reorder at
+best, a broken internal linked list at worst).  All mutation happens
+under one internal lock; metric counting stays outside it, so a cache
+counter never nests the registry under the cache lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
@@ -46,41 +56,52 @@ class LruCache:
         self.capacity = capacity
         self._prefix = metrics_prefix
         self._registry = registry
+        self._lock = threading.Lock()
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
 
-    def _count(self, event: str) -> None:
-        if self._prefix is None:
+    def _count(self, event: str, n: int = 1) -> None:
+        if self._prefix is None or n <= 0:
             return
         registry = self._registry if self._registry is not None else global_metrics()
-        registry.counter(f"{self._prefix}.{event}").inc()
+        counter = registry.counter(f"{self._prefix}.{event}")
+        for _ in range(n):
+            counter.inc()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency; counts a hit or miss."""
-        value = self._data.get(key, _SENTINEL)
+        with self._lock:
+            value = self._data.get(key, _SENTINEL)
+            if value is not _SENTINEL:
+                self._data.move_to_end(key)
         if value is _SENTINEL:
             self._count("misses")
             return default
-        self._data.move_to_end(key)
         self._count("hits")
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting LRU entries past capacity."""
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self._count("evictions")
+        evicted = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                evicted += 1
+        self._count("evictions", evicted)
 
     def __setitem__(self, key: Hashable, value: Any) -> None:
         self.put(key, value)
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
         # Membership is a passive probe: no recency refresh, no counters.
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()

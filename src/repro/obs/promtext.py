@@ -208,6 +208,67 @@ def sum_by_name(samples: List[PromSample], name: str) -> float:
     return sum(s.value for s in samples if s.name == name)
 
 
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_sample(sample: PromSample) -> str:
+    if not sample.labels:
+        return f"{sample.name} {sample.value!r}"
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sample.labels
+    )
+    return f"{sample.name}{{{inner}}} {sample.value!r}"
+
+
+def _family_of(name: str, types: Dict[str, str]) -> str:
+    """The TYPE family a sample belongs to (histogram suffixes fold in)."""
+    if name in types:
+        return name
+    for suffix in _HISTOGRAM_SUFFIXES:
+        base = name[: -len(suffix)]
+        if name.endswith(suffix) and types.get(base) == "histogram":
+            return base
+    return name
+
+
+def merge_expositions(texts: List[str]) -> str:
+    """Sum several expositions into one (the cluster front's /metrics).
+
+    Samples with identical ``name{labels}`` identity are added — the
+    correct merge for counters, for the cluster-wide totals gauges
+    (queue depth, in-flight), and for histogram ``_bucket``/``_sum``/
+    ``_count`` series recorded against the same bucket layout.  TYPE
+    declarations are unioned (first declaration wins) and re-emitted,
+    so the merged text passes :func:`check_exposition` like any
+    single-process exposition.
+    """
+    merged: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    types: Dict[str, str] = {}
+    for text in texts:
+        samples, declared = parse_exposition(text)
+        for name, kind in declared.items():
+            types.setdefault(name, kind)
+        for sample in samples:
+            key = (sample.name, sample.labels)
+            merged[key] = merged.get(key, 0.0) + sample.value
+    ordered = sorted(
+        merged.items(), key=lambda item: (_family_of(item[0][0], types),) + item[0]
+    )
+    lines: List[str] = []
+    last_family: Optional[str] = None
+    for (name, labels), value in ordered:
+        family = _family_of(name, types)
+        if family != last_family:
+            if family in types:
+                lines.append(f"# TYPE {family} {types[family]}")
+            last_family = family
+        lines.append(_render_sample(PromSample(name=name, labels=labels, value=value)))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def bucket_cumulative(
     samples: List[PromSample], base_name: str
 ) -> List[Tuple[float, float]]:

@@ -17,6 +17,8 @@ call sites keep working unchanged.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Tuple
 
@@ -96,6 +98,30 @@ class RunRequest:
             self.seed,
             self.kwargs,
         )
+
+    def canonical_bytes(self) -> bytes:
+        """The canonical wire encoding of this request.
+
+        Byte-identical to what :func:`repro.serve.protocol.encode`
+        produces for :meth:`to_dict` (sorted keys, compact separators,
+        UTF-8) — pinned by a test — so the digest below is a pure
+        function of the request's wire form.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+
+    def cache_digest(self) -> str:
+        """The one canonical *string* digest of this run.
+
+        SHA-256 over :meth:`canonical_bytes`, hex-encoded.  Everything
+        that needs a stable string identity for a run uses this one
+        derivation: the service journal's ``cache_key`` field, the L2
+        result store's filenames, and the cluster front's
+        consistent-hash ring placement — so an entry written by any
+        component is addressable by every other.
+        """
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
 
     def label(self) -> str:
         return f"{self.algorithm}/{self.dataset}/{self.gpu_name}/{self.mode.value}"

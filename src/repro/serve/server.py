@@ -66,6 +66,14 @@ from .protocol import (
     run_response,
 )
 from .singleflight import SingleFlight
+from .store import (
+    DEFAULT_STORE_MAX_BYTES,
+    STORE_CORRUPT_METRIC,
+    STORE_EVICTIONS_METRIC,
+    STORE_HITS_METRIC,
+    STORE_MISSES_METRIC,
+    ResultStore,
+)
 from .telemetry import (
     COALESCE_WAIT_METRIC,
     OUTCOME_BAD_REQUEST,
@@ -119,6 +127,12 @@ class ServiceConfig:
     trace_capacity: int = 128
     #: Per-trace span cap; spans beyond it are counted as dropped.
     trace_spans: int = 2048
+    #: Directory of the persistent L2 result store; ``None`` (the
+    #: default) runs with the in-memory L1 run cache only.  With a
+    #: store, cold starts serve byte-identical responses from disk.
+    store_dir: Optional[str] = None
+    #: Byte bound of the L2 store (LRU eviction by mtime beyond it).
+    store_max_bytes: int = DEFAULT_STORE_MAX_BYTES
 
 
 def _isolated_run(request: RunRequest) -> RunReport:
@@ -191,6 +205,32 @@ class SimulationService:
         self.registry.counter(REQUESTS_METRIC)
         self.registry.counter(SIMULATIONS_METRIC)
         self.registry.counter(REJECTED_METRIC)
+        # L2 result store: installed process-wide so the runner's
+        # tiered get/put reads through it; counters live in this
+        # service's registry (pre-registered like everything else).
+        self.store: Optional[ResultStore] = None
+        if self.config.store_dir is not None:
+            for name in (
+                STORE_HITS_METRIC,
+                STORE_MISSES_METRIC,
+                STORE_EVICTIONS_METRIC,
+                STORE_CORRUPT_METRIC,
+            ):
+                self.registry.counter(name)
+            self.store = ResultStore(
+                self.config.store_dir,
+                max_bytes=self.config.store_max_bytes,
+                registry=self.registry,
+            )
+            from ..algorithms.runner import set_result_store
+
+            set_result_store(self.store)
+        # In-flight HTTP /run requests: distinct from queue in-flight —
+        # a request that left the queue still journals its outcome and
+        # flushes its spans in finish_request, and drain() must wait
+        # for that, not just for the queue (see the drain test).
+        self._http_cond = threading.Condition()
+        self._http_inflight = 0
         if self.telemetry:
             for name in (
                 QUEUE_WAIT_METRIC,
@@ -244,6 +284,8 @@ class SimulationService:
             request_id=self._request_ids.next_id(),
             started=time.perf_counter(),
         )
+        with self._http_cond:
+            self._http_inflight += 1
         if self.spans is not None:
             remote = parse_traceparent(traceparent)
             if remote is not None:
@@ -263,21 +305,33 @@ class SimulationService:
         status: int,
         error: Optional[BaseException] = None,
     ) -> None:
-        """Close out one request: histogram, journal, access log, spans."""
-        total_s = time.perf_counter() - ctx.started
-        if error is not None:
-            ctx.outcome = _error_outcome(error)
-        elif ctx.outcome is None:
-            ctx.outcome = OUTCOME_ERROR
-        record = ctx.record(status=status, total_s=total_s)
-        if self.telemetry:
-            self._observe_latency(TOTAL_METRIC, total_s)
-            self.journal.append(record)
-        if self.spans is not None and ctx.trace_id is not None:
-            self._flush_spans(ctx, status=status, total_s=total_s)
-        if self.access_log is not None:
-            fields = {k: v for k, v in record.items() if k != "status"}
-            self.access_log.write(method, path, status, **fields)
+        """Close out one request: histogram, journal, access log, spans.
+
+        The journal append and span flush happen *before* the in-flight
+        count drops, so ``drain()`` returning guarantees every admitted
+        request's outcome is journaled and its trace is stored — a
+        request admitted before SIGTERM but completing after is not
+        lost (pinned by the drain-ordering regression test).
+        """
+        try:
+            total_s = time.perf_counter() - ctx.started
+            if error is not None:
+                ctx.outcome = _error_outcome(error)
+            elif ctx.outcome is None:
+                ctx.outcome = OUTCOME_ERROR
+            record = ctx.record(status=status, total_s=total_s)
+            if self.telemetry:
+                self._observe_latency(TOTAL_METRIC, total_s)
+                self.journal.append(record)
+            if self.spans is not None and ctx.trace_id is not None:
+                self._flush_spans(ctx, status=status, total_s=total_s)
+            if self.access_log is not None:
+                fields = {k: v for k, v in record.items() if k != "status"}
+                self.access_log.write(method, path, status, **fields)
+        finally:
+            with self._http_cond:
+                self._http_inflight -= 1
+                self._http_cond.notify_all()
 
     def _flush_spans(
         self, ctx: RequestContext, *, status: int, total_s: float
@@ -375,20 +429,31 @@ class SimulationService:
         """Execute (or coalesce, or reject) one validated run request."""
         from ..algorithms.runner import get_cached_report
 
+        digest = request.cache_digest()
         if ctx is not None:
-            ctx.cache_key = encode(request.to_dict()).decode("utf-8")
+            # One canonical string identity everywhere: this same digest
+            # names the L2 entry on disk and places the key on the
+            # cluster front's hash ring (pinned by a test).
+            ctx.cache_key = digest
         if self._draining:
             self._count(REJECTED_METRIC, reason="draining")
             raise ServiceUnavailableError("service is draining; not accepting work")
         self._count(REQUESTS_METRIC, route="run")
-        report = get_cached_report(request)
+        probe_started = time.perf_counter()
+        report, tier = get_cached_report(request, with_tier=True)
+        if self.store is not None and tier != "l1":
+            # The probe reached the disk tier: record it as a span so
+            # store latency shows up in the request's trace tree.
+            self._record_store_span(
+                ctx, "serve.store.get", probe_started, tier=tier or "miss"
+            )
         if report is not None:
             if ctx is not None:
                 ctx.outcome = OUTCOME_CACHED
         else:
             wait_started = time.perf_counter()
             report = self._singleflight.do(
-                request.cache_key(),
+                digest,
                 lambda: self._run_queued(request, ctx),
                 timeout_s=self.config.request_timeout_s,
             )
@@ -398,6 +463,35 @@ class SimulationService:
                 if self.spans is not None and ctx.trace_id is not None:
                     self._record_coalesce_span(ctx, request, wait_started)
         return run_response(request, report)
+
+    def _record_store_span(
+        self,
+        ctx: Optional[RequestContext],
+        name: str,
+        started: float,
+        **attributes: Any,
+    ) -> None:
+        """One L2 store operation as a span in the request's trace tree."""
+        if (
+            self.spans is None
+            or ctx is None
+            or ctx.trace_id is None
+            or ctx.span_id is None
+        ):
+            return
+        ctx.spans.append(
+            SpanRecord(
+                trace_id=ctx.trace_id,
+                span_id=new_span_id(),
+                parent_id=ctx.span_id,
+                name=name,
+                category="serve",
+                process="serve",
+                start_us=perf_to_epoch_us(started),
+                duration_us=(time.perf_counter() - started) * 1e6,
+                attributes=dict(attributes),
+            )
+        )
 
     def _record_coalesce_span(
         self, ctx: RequestContext, request: RunRequest, wait_started: float
@@ -409,7 +503,7 @@ class SimulationService:
         — not a parent edge — pointing at that span.
         """
         links = []
-        leader = self._leader_spans.get(request.cache_key())
+        leader = self._leader_spans.get(request.cache_digest())
         if leader is not None:
             leader_trace_id, leader_span_id = leader
             links.append(
@@ -518,11 +612,14 @@ class SimulationService:
             ctx.spans.extend(child_spans)
             # Publish so coalesced followers can link to this span.
             self._leader_spans.put(
-                request.cache_key(), (ctx.trace_id, sim_span_id)
+                request.cache_digest(), (ctx.trace_id, sim_span_id)
             )
         if self.telemetry:
             self._observe_latency(SIMULATE_METRIC, simulate_s)
+        put_started = time.perf_counter()
         put_cached_report(request, report)
+        if self.store is not None:
+            self._record_store_span(ctx, "serve.store.put", put_started)
         return report
 
     def _simulate_isolated(
@@ -572,16 +669,37 @@ class SimulationService:
         return service + global_metrics().render_prometheus()
 
     def drain(self, *, timeout_s: Optional[float] = None) -> bool:
-        """Refuse new work, then wait for queued + in-flight requests."""
+        """Refuse new work, then wait for queued + in-flight requests.
+
+        Waits for *both* layers: the worker queue AND the HTTP requests
+        still inside their handler (a request that left the queue still
+        has to journal its outcome and flush its spans before it counts
+        as finished).  Only when both hit zero is every admitted
+        request's telemetry durable.
+        """
         self._draining = True
         if timeout_s is None:
             timeout_s = self.config.drain_timeout_s
-        return self._queue.drain(timeout_s=timeout_s)
+        deadline = time.monotonic() + timeout_s
+        if not self._queue.drain(timeout_s=timeout_s):
+            return False
+        with self._http_cond:
+            return self._http_cond.wait_for(
+                lambda: self._http_inflight == 0,
+                timeout=max(0.0, deadline - time.monotonic()),
+            )
 
     def close(self) -> None:
         """Release operator-facing resources (the access-log stream)."""
         if self.access_log is not None:
             self.access_log.close()
+        if self.store is not None:
+            from ..algorithms.runner import get_result_store, set_result_store
+
+            # Uninstall only our own store: another service instance may
+            # have installed its own since (tests run many services).
+            if get_result_store() is self.store:
+                set_result_store(None)
 
 
 #: (exception class -> HTTP status, stable error code); checked in order.

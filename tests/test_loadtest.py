@@ -22,6 +22,7 @@ from repro.bench.loadtest import (
     parse_slo,
     run_loadtest,
     summarize_results,
+    summarize_server,
     zipf_weights,
     RequestResult,
     SERVE_KIND,
@@ -113,6 +114,43 @@ class TestSummaries:
         assert totals["requests"] == 0
         assert rates["throughput_rps"] == 0.0
         assert latency_ms["p99_ms"] == 0.0
+
+    @staticmethod
+    def _exposition(requests, simulations, coalesced, store_hits):
+        lines = []
+        for name, value in (
+            ("serve_requests", requests),
+            ("serve_simulations", simulations),
+            ("serve_singleflight_coalesced_hits", coalesced),
+            ("serve_rejected", 0.0),
+            ("serve_store_hits", store_hits),
+            ("serve_store_misses", 0.0),
+        ):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {value}")
+        return "\n".join(lines) + "\n"
+
+    def test_tiers_split_cached_hits_by_store_counter(self):
+        before = self._exposition(0, 0, 0, 0)
+        after = self._exposition(10, 2, 1, 3)
+        summary = summarize_server(before, after)
+        # cached = 10 - 2 simulated - 1 coalesced = 7; 3 of those came
+        # from the disk tier, the remaining 4 from memory
+        tiers = summary["tiers"]
+        assert tiers["l2_hit_ratio"] == pytest.approx(0.3)
+        assert tiers["l1_hit_ratio"] == pytest.approx(0.4)
+        assert tiers["simulated_ratio"] == pytest.approx(0.2)
+        assert tiers["coalesced_ratio"] == pytest.approx(0.1)
+        assert tiers["l1_hit_ratio"] + tiers["l2_hit_ratio"] == (
+            pytest.approx(summary["ratios"]["cached"])
+        )
+
+    def test_tiers_without_a_store_attribute_everything_to_l1(self):
+        before = self._exposition(0, 0, 0, 0)
+        after = self._exposition(8, 2, 0, 0)
+        tiers = summarize_server(before, after)["tiers"]
+        assert tiers["l2_hit_ratio"] == 0.0
+        assert tiers["l1_hit_ratio"] == pytest.approx(0.75)
 
 
 def _artifact(**overrides):
@@ -292,6 +330,37 @@ class TestEndToEnd:
         names = {e["name"] for e in slices}
         assert {"client.request", "serve.request"} <= names
         assert doc["otherData"]["trace_id"] == slowest[0]["trace_id"]
+
+    def test_cluster_store_cold_start_shows_l2_hits(self, tmp_path):
+        """The acceptance scenario: a warm store directory makes a
+        cold-start cluster run serve from the disk tier — zero
+        simulations, >0 L2 hits in the artifact's per-tier ratios."""
+        store = str(tmp_path / "store")
+        config = LoadtestConfig(
+            requests=8,
+            clients=2,
+            keys=2,
+            datasets=("delaunay",),
+            modes=("gpu", "scu-basic"),
+            cluster_workers=2,
+            store_dir=store,
+        )
+        warm = run_loadtest(config, tag="warm")
+        assert warm.totals["ok"] == 8
+        assert warm.server["counters"]["simulations"] == 2
+        # second run: run_loadtest wipes the in-memory L1, so every key
+        # cold-starts from the shared store through the cluster front
+        cold = run_loadtest(config, tag="cold")
+        assert cold.totals["ok"] == 8
+        assert cold.server["counters"]["simulations"] == 0
+        assert cold.server["counters"]["store_hits"] > 0
+        tiers = cold.server["tiers"]
+        assert tiers["l2_hit_ratio"] > 0
+        assert tiers["l1_hit_ratio"] + tiers["l2_hit_ratio"] == (
+            pytest.approx(cold.server["ratios"]["cached"])
+        )
+        # the cluster run produced a normal, self-comparable artifact
+        assert compare_serve_artifacts(warm, cold).ok
 
 
 # ---------------------------------------------------------------------------

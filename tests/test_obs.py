@@ -335,6 +335,45 @@ class TestLruCache:
         cache.clear()
         assert len(cache) == 0 and "a" not in cache
 
+    def test_concurrent_hammer_stays_consistent(self):
+        """Regression: the cache backs the shared run cache and the
+        serve daemon's leader-span cache under ThreadingHTTPServer; an
+        unlocked OrderedDict corrupts under concurrent move_to_end /
+        popitem.  Hammer it from many threads and require no exceptions
+        and an in-bound final state."""
+        import threading as _threading
+
+        cache = LruCache(8, metrics_prefix="hammer", registry=MetricsRegistry())
+        errors = []
+        start = _threading.Barrier(8)
+
+        def worker(tid):
+            try:
+                start.wait(10.0)
+                for i in range(2000):
+                    key = (tid * 7 + i) % 24
+                    if i % 3 == 0:
+                        cache.put(key, (tid, i))
+                    elif i % 3 == 1:
+                        cache.get(key)
+                    else:
+                        key in cache  # noqa: B015 — passive probe
+            except Exception as error:  # pragma: no cover - the regression
+                errors.append(error)
+
+        threads = [
+            _threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert errors == []
+        assert len(cache) <= 8
+        # every surviving entry is readable
+        for key in range(24):
+            cache.get(key)
+
 
 class TestMergeFlatSnapshots:
     def test_counters_sum_gauges_take_last(self):
@@ -549,6 +588,46 @@ class TestBucketedHistograms:
         entry = next(e for e in merged if e["metric"] == "lat")
         assert entry["count"] == 3
         assert entry["buckets"] == [["0.5", 1], ["1", 2], ["+Inf", 3]]
+
+    def test_merge_expositions_sums_and_stays_conformant(self):
+        """The cluster front's /metrics merge: sum by identity, union
+        TYPE lines, and re-emit something the checker accepts."""
+        from repro.obs import check_exposition
+        from repro.obs.promtext import merge_expositions, sum_by_name
+
+        def scrape(count, bucket_values):
+            registry = MetricsRegistry()
+            registry.counter("serve.requests").inc(count, route="run")
+            h = registry.histogram("lat.total", buckets=(0.5, 1.0))
+            for v in bucket_values:
+                h.observe(v)
+            return registry.render_prometheus()
+
+        merged = merge_expositions([scrape(3, [0.2]), scrape(4, [0.7])])
+        samples = check_exposition(merged)  # raises on malformed merge
+        assert sum_by_name(samples, "serve_requests") == 7.0
+        by_key = {s.key(): s.value for s in samples}
+        assert by_key["lat_total_bucket{le=0.5}"] == 1.0
+        assert by_key["lat_total_bucket{le=+Inf}"] == 2.0
+        assert by_key["lat_total_count"] == 2.0
+
+    def test_merge_expositions_preserves_label_escapes(self):
+        from repro.obs.promtext import merge_expositions, parse_exposition
+
+        registry = MetricsRegistry()
+        registry.counter("req").inc(route='a\\b"c\nd')
+        merged = merge_expositions(
+            [registry.render_prometheus(), registry.render_prometheus()]
+        )
+        samples, _ = parse_exposition(merged)
+        escaped = next(s for s in samples if s.name == "req")
+        assert escaped.labels_dict()["route"] == 'a\\b"c\nd'
+        assert escaped.value == 2.0
+
+    def test_merge_expositions_empty(self):
+        from repro.obs.promtext import merge_expositions
+
+        assert merge_expositions([]) == ""
 
 
 class TestServeTelemetryAB:

@@ -477,6 +477,56 @@ class TestDrain:
             httpd.server_close()
             clear_run_cache()
 
+    def test_drain_waits_for_journal_and_spans_of_inflight_requests(self):
+        """Regression: a request admitted before drain but still inside
+        its handler (journaling, flushing spans) must complete before
+        drain() returns — the queue being empty is not enough."""
+        clear_run_cache()
+
+        class SlowFinishService(SimulationService):
+            def __init__(self, config=None):
+                super().__init__(config)
+                self.entered_finish = threading.Event()
+                self.release_finish = threading.Event()
+
+            def finish_request(self, ctx, **kwargs):
+                self.entered_finish.set()
+                self.release_finish.wait(10.0)
+                super().finish_request(ctx, **kwargs)
+
+        service = SlowFinishService(ServiceConfig(port=0))
+        httpd, base = _start(service)
+        try:
+            results = []
+            worker = threading.Thread(
+                target=lambda: results.append(_post(base, REQUEST_BODY))
+            )
+            worker.start()
+            assert service.entered_finish.wait(30.0)
+            # The queue is already empty; only the handler thread is
+            # still finishing.  drain() must NOT return yet.
+            drained = []
+            drainer = threading.Thread(
+                target=lambda: drained.append(service.drain(timeout_s=30.0))
+            )
+            drainer.start()
+            time.sleep(0.2)
+            assert drainer.is_alive(), "drain returned before telemetry flushed"
+            service.release_finish.set()
+            drainer.join(30.0)
+            worker.join(30.0)
+            assert drained == [True]
+            # By the time drain returned, the outcome was journaled and
+            # the trace stored.
+            records = service.journal.tail(None)
+            assert [r["outcome"] for r in records] == ["simulated"]
+            assert service.spans.trace_ids()
+        finally:
+            service.release_finish.set()
+            httpd.shutdown()
+            httpd.server_close()
+            clear_run_cache()
+
 
 # ---------------------------------------------------------------------------
 # Per-request telemetry (PR 6)
@@ -524,11 +574,11 @@ class TestRequestTelemetry:
         assert all(r["total_ms"] > 0 for r in records)
         assert records[0]["simulate_ms"] > 0
         assert records[0]["queue_wait_ms"] >= 0
-        # the journaled cache key is the canonical wire form
-        expected_key = json.loads(REQUEST_BODY)
-        expected_key.setdefault("seed", 42)
-        expected_key.setdefault("kwargs", {})
-        assert json.loads(records[0]["cache_key"]) == expected_key
+        # the journaled cache key is the canonical request digest — the
+        # same string that names the L2 entry and places the key on the
+        # cluster front's hash ring
+        expected = RunRequest.make("bfs", "human", "TX1", "scu-enhanced")
+        assert records[0]["cache_key"] == expected.cache_digest()
 
     def test_debug_requests_honors_n(self, served):
         service, base = served

@@ -1,0 +1,353 @@
+"""Tests for the persistent L2 result store (repro.serve.store).
+
+The contracts under test:
+
+* **one canonical identity** — the journal field, the L2 filename, and
+  the cluster ring placement all key on the same
+  :meth:`RunRequest.cache_digest` string, which is the sha256 of the
+  request's canonical wire encoding;
+* **byte-identical cold starts** — a response served from a disk entry
+  written by a previous service incarnation is byte-for-byte the
+  response a fresh simulation produces;
+* **durability** — corrupt/truncated/mismatched entries quarantine
+  instead of serving, eviction respects the byte bound, and concurrent
+  writers racing one key both land whole entries.
+"""
+
+import hashlib
+import json
+import threading
+
+import pytest
+
+from repro.algorithms.runner import (
+    clear_run_cache,
+    get_cached_report,
+    put_cached_report,
+    set_result_store,
+)
+from repro.errors import ServiceError
+from repro.mem.hierarchy import MemoryStats
+from repro.obs import MetricsRegistry
+from repro.phases import Engine, PhaseKind, PhaseReport, RunReport
+from repro.request import RunRequest
+from repro.serve.cluster import HashRing
+from repro.serve.protocol import encode, run_response
+from repro.serve.store import (
+    STORE_CORRUPT_METRIC,
+    STORE_EVICTIONS_METRIC,
+    STORE_HITS_METRIC,
+    STORE_MISSES_METRIC,
+    STORE_KIND,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    report_from_dict,
+    report_to_dict,
+)
+
+REQUEST = RunRequest.make("bfs", "human", "TX1", "scu-enhanced")
+
+
+def synthetic_report(tag: int = 0) -> RunReport:
+    """A cheap, fully-populated report (no simulation needed)."""
+    return RunReport(
+        algorithm="bfs",
+        system="scu-enhanced",
+        dataset="human",
+        static_energy_j=0.125 + tag,
+        phases=[
+            PhaseReport(
+                name=f"phase-{tag}",
+                engine=Engine.SCU,
+                kind=PhaseKind.COMPACTION,
+                elements=1000 + tag,
+                instructions=5000,
+                time_s=0.001 * (tag + 1),
+                dynamic_energy_j=0.25,
+                memory=MemoryStats(
+                    accesses=100,
+                    transactions=40,
+                    l2_hits=30,
+                    dram_accesses=10,
+                    dram_bytes=320,
+                    row_hit_fraction=0.625,
+                ),
+            )
+        ],
+    )
+
+
+class TestCanonicalDigest:
+    def test_digest_is_sha256_of_canonical_encoding(self):
+        assert REQUEST.cache_digest() == (
+            hashlib.sha256(REQUEST.canonical_bytes()).hexdigest()
+        )
+
+    def test_canonical_bytes_match_the_wire_protocol(self):
+        # The digest input IS the wire form: one encoder, one identity.
+        assert REQUEST.canonical_bytes() == encode(REQUEST.to_dict())
+
+    def test_digest_distinguishes_requests(self):
+        other = RunRequest.make("bfs", "human", "TX1", "scu-enhanced", seed=7)
+        assert REQUEST.cache_digest() != other.cache_digest()
+
+    def test_journal_filename_and_ring_agree(self, tmp_path):
+        """The acceptance pin: journal field == L2 filename == ring key."""
+        digest = REQUEST.cache_digest()
+        # L2 filename
+        store = ResultStore(tmp_path, registry=MetricsRegistry())
+        assert store.path_for(digest).name == f"{digest}.json"
+        # ring placement consumes the digest string verbatim
+        ring = HashRing(("http://a", "http://b", "http://c"))
+        assert ring.node_for(digest) in ring.nodes
+        # journal field: the service sets ctx.cache_key to this digest
+        from repro.serve.telemetry import RequestContext
+
+        ctx = RequestContext(request_id="req-000001", started=0.0)
+        ctx.cache_key = digest
+        assert ctx.record(status=200, total_s=0.0)["cache_key"] == digest
+
+
+class TestReportRoundTrip:
+    def test_exact_round_trip(self):
+        report = synthetic_report()
+        rebuilt = report_from_dict(report_to_dict(report))
+        assert rebuilt == report
+
+    def test_round_trip_preserves_response_bytes(self):
+        report = synthetic_report()
+        rebuilt = report_from_dict(
+            json.loads(json.dumps(report_to_dict(report)))
+        )
+        assert encode(run_response(REQUEST, rebuilt)) == (
+            encode(run_response(REQUEST, report))
+        )
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            report_from_dict({"algorithm": "bfs"})
+
+
+class TestResultStore:
+    def test_put_then_get(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ResultStore(tmp_path, registry=registry)
+        report = synthetic_report()
+        path = store.put(REQUEST, report)
+        assert path.exists()
+        assert store.get(REQUEST) == report
+        assert registry.counter(STORE_HITS_METRIC).total() == 1
+        assert len(store) == 1
+
+    def test_miss_is_counted(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ResultStore(tmp_path, registry=registry)
+        assert store.get(REQUEST) is None
+        assert registry.counter(STORE_MISSES_METRIC).total() == 1
+
+    def test_envelope_is_schema_versioned_with_provenance(self, tmp_path):
+        store = ResultStore(tmp_path, registry=MetricsRegistry())
+        path = store.put(REQUEST, synthetic_report())
+        envelope = json.loads(path.read_text())
+        assert envelope["kind"] == STORE_KIND
+        assert envelope["schema_version"] == STORE_SCHEMA_VERSION
+        assert envelope["digest"] == REQUEST.cache_digest()
+        assert envelope["request"] == REQUEST.to_dict()
+        assert "provenance" in envelope
+
+    def test_bad_digest_rejected(self, tmp_path):
+        store = ResultStore(tmp_path, registry=MetricsRegistry())
+        with pytest.raises(ServiceError, match="digest"):
+            store.path_for("../escape")
+
+    def test_corrupt_entry_quarantines(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ResultStore(tmp_path, registry=registry)
+        path = store.put(REQUEST, synthetic_report())
+        path.write_text("{definitely not json")
+        assert store.get(REQUEST) is None
+        assert registry.counter(STORE_CORRUPT_METRIC).total() == 1
+        assert not path.exists()
+        assert (tmp_path / "quarantine" / path.name).exists()
+        # the store recovers: a fresh put serves again
+        store.put(REQUEST, synthetic_report())
+        assert store.get(REQUEST) is not None
+
+    def test_truncated_entry_quarantines(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ResultStore(tmp_path, registry=registry)
+        path = store.put(REQUEST, synthetic_report())
+        whole = path.read_text()
+        path.write_text(whole[: len(whole) // 2])
+        assert store.get(REQUEST) is None
+        assert registry.counter(STORE_CORRUPT_METRIC).total() == 1
+        assert (tmp_path / "quarantine" / path.name).exists()
+
+    def test_digest_mismatch_quarantines(self, tmp_path):
+        """An entry renamed to another digest must never be served."""
+        registry = MetricsRegistry()
+        store = ResultStore(tmp_path, registry=registry)
+        other = RunRequest.make("bfs", "human", "TX1", "scu-enhanced", seed=7)
+        path = store.put(REQUEST, synthetic_report())
+        path.rename(store.path_for(other.cache_digest()))
+        assert store.get(other) is None
+        assert registry.counter(STORE_CORRUPT_METRIC).total() == 1
+
+    def test_eviction_respects_byte_bound(self, tmp_path):
+        registry = MetricsRegistry()
+        requests = [
+            RunRequest.make("bfs", "human", "TX1", "scu-enhanced", seed=s)
+            for s in range(6)
+        ]
+        probe = ResultStore(tmp_path, registry=MetricsRegistry())
+        entry_bytes = probe.put(requests[0], synthetic_report()).stat().st_size
+        store = ResultStore(
+            tmp_path, max_bytes=entry_bytes * 3, registry=registry
+        )
+        import time as _time
+
+        for i, request in enumerate(requests):
+            store.put(request, synthetic_report(i))
+            _time.sleep(0.01)  # distinct mtimes -> deterministic LRU order
+        assert store.stats()["bytes"] <= entry_bytes * 3
+        assert registry.counter(STORE_EVICTIONS_METRIC).total() > 0
+        # the most recent write survives; the oldest keys were evicted
+        assert store.get(requests[-1]) is not None
+        assert store.get(requests[1]) is None
+
+    def test_protected_entry_never_evicted(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=1, registry=MetricsRegistry())
+        path = store.put(REQUEST, synthetic_report())
+        assert path.exists()  # over bound, but the fresh write survives
+
+    def test_concurrent_writers_racing_one_key(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ResultStore(tmp_path, registry=registry)
+        report = synthetic_report()
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def writer():
+            try:
+                barrier.wait(10.0)
+                for _ in range(10):
+                    store.put(REQUEST, report)
+            except Exception as error:  # pragma: no cover - the regression
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert errors == []
+        # every racer atomically landed a whole (identical) entry
+        assert len(store) == 1
+        assert store.get(REQUEST) == report
+        # no stray tmp files leaked
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestTieredRunnerCache:
+    def test_l2_hit_promotes_into_l1(self, tmp_path):
+        clear_run_cache()
+        store = ResultStore(tmp_path, registry=MetricsRegistry())
+        set_result_store(store)
+        try:
+            report = synthetic_report()
+            store.put(REQUEST, report)
+            first, tier = get_cached_report(REQUEST, with_tier=True)
+            assert first == report and tier == "l2"
+            second, tier = get_cached_report(REQUEST, with_tier=True)
+            assert second == report and tier == "l1"
+        finally:
+            set_result_store(None)
+            clear_run_cache()
+
+    def test_put_writes_both_tiers(self, tmp_path):
+        clear_run_cache()
+        store = ResultStore(tmp_path, registry=MetricsRegistry())
+        set_result_store(store)
+        try:
+            report = synthetic_report()
+            put_cached_report(REQUEST, report)
+            assert len(store) == 1
+            clear_run_cache()  # kill L1; L2 still serves
+            got, tier = get_cached_report(REQUEST, with_tier=True)
+            assert got == report and tier == "l2"
+        finally:
+            set_result_store(None)
+            clear_run_cache()
+
+    def test_without_store_behaviour_is_single_tier(self):
+        clear_run_cache()
+        assert get_cached_report(REQUEST, with_tier=True) == (None, None)
+        clear_run_cache()
+
+
+class TestColdStartService:
+    """The acceptance A/B: serve, kill the process state, re-serve."""
+
+    def test_cold_start_serves_byte_identical_from_disk(self, tmp_path):
+        import urllib.request
+
+        from repro.serve.server import (
+            ServiceConfig,
+            SimulationService,
+            make_server,
+        )
+        from repro.serve.server import SIMULATIONS_METRIC
+
+        body = json.dumps(
+            {
+                "algorithm": "bfs",
+                "dataset": "human",
+                "gpu": "TX1",
+                "mode": "scu-enhanced",
+            }
+        ).encode()
+
+        def start(store_dir):
+            service = SimulationService(
+                ServiceConfig(port=0, store_dir=str(store_dir))
+            )
+            httpd = make_server(service, port=0)
+            thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+            thread.start()
+            host, port = httpd.server_address[:2]
+            return service, httpd, f"http://{host}:{port}"
+
+        def post(base):
+            request = urllib.request.Request(
+                base + "/run",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=60.0) as response:
+                return response.read()
+
+        def stop(service, httpd):
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain(timeout_s=10.0)
+            service.close()
+
+        clear_run_cache()
+        service1, httpd1, base1 = start(tmp_path)
+        try:
+            first = post(base1)
+            assert service1.registry.counter(SIMULATIONS_METRIC).total() == 1
+        finally:
+            stop(service1, httpd1)
+        # "restart": a fresh service, the in-memory tier wiped — only
+        # the disk entry written by the first incarnation remains.
+        clear_run_cache()
+        service2, httpd2, base2 = start(tmp_path)
+        try:
+            second = post(base2)
+            assert second == first  # byte-identical from the L2 tier
+            assert service2.registry.counter(SIMULATIONS_METRIC).total() == 0
+            assert service2.registry.counter(STORE_HITS_METRIC).total() == 1
+        finally:
+            stop(service2, httpd2)
+            clear_run_cache()
