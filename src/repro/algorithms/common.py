@@ -7,25 +7,20 @@ warp-culling model, and the device placement of a CSR graph.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 
 import numpy as np
 
+# SystemMode now lives with the backend registry; re-exported here for
+# compatibility — every historical ``from repro.algorithms.common import
+# SystemMode`` keeps working.
+from ..backends.modes import SystemMode
 from ..core.api import ScuSystem
 from ..core.energy import scu_static_power_w
 from ..gpu.energy import system_static_power_w
 from ..graph.csr import CsrGraph
 from ..mem.address_space import DeviceArray
 from ..phases import RunReport
-
-
-class SystemMode(enum.Enum):
-    """The three systems every figure compares."""
-
-    GPU = "gpu"  # baseline: compaction runs on the SMs
-    SCU_BASIC = "scu-basic"  # Section 3: compaction offloaded
-    SCU_ENHANCED = "scu-enhanced"  # Section 4: + filtering / grouping
 
 
 #: Instruction-per-thread costs of the modeled CUDA kernels.  Derived
@@ -195,10 +190,12 @@ class GraphOnDevice:
 
 
 def finalize_report(report: RunReport, system: ScuSystem) -> RunReport:
-    """Charge static energy over the run's makespan (GPU + DRAM + SCU)."""
+    """Charge static energy over the makespan (GPU + DRAM + accelerator)."""
     power = system_static_power_w(system.gpu.config)
     if system.has_scu:
         power += scu_static_power_w(system.scu.config)
+    if system.has_iru:
+        power += system.iru.static_power_w
     report.static_energy_j = power * report.time_s()
     return report
 

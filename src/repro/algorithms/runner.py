@@ -1,8 +1,9 @@
 """Top-level driver: run any primitive on any system variant.
 
-``run_algorithm`` builds a fresh system (GPU + optional SCU), executes
-the requested primitive, validates nothing here (tests do), and returns
-a :class:`~repro.request.RunOutcome` bundling the result array, the
+``run_algorithm`` resolves the requested mode to its registered
+:class:`~repro.backends.base.AcceleratorBackend`, builds a fresh system
+through it, executes the requested primitive, and returns a
+:class:`~repro.request.RunOutcome` bundling the result array, the
 :class:`~repro.phases.RunReport` every experiment consumes, and the
 simulated system.  ``execute_request`` is the same entry point driven by
 a typed :class:`~repro.request.RunRequest`; ``cached_run`` memoizes
@@ -15,7 +16,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from ..core.api import PAPER_SCALE, build_system
+from ..backends import get_backend
+from ..core.api import PAPER_SCALE
 from ..core.config import ScuConfig
 from ..errors import ExperimentError
 from ..graph.csr import CsrGraph
@@ -61,19 +63,25 @@ def run_algorithm(
     tracing is passive and leaves every simulated number unchanged.
 
     Returns a :class:`~repro.request.RunOutcome`; unpacking it as the
-    legacy ``result, report, system`` tuple still works.
+    legacy ``result, report, system`` tuple is deprecated — use the
+    ``.result`` / ``.report`` / ``.system`` attributes.
     """
     if algorithm not in ALGORITHMS:
         known = ", ".join(ALGORITHMS)
         raise ExperimentError(f"unknown algorithm {algorithm!r}; known: {known}")
-    system = build_system(
+    backend = get_backend(mode)
+    system = backend.build_system(
         gpu_name,
-        with_scu=mode is not SystemMode.GPU,
         scu_config=scu_config,
         memory_scale=memory_scale,
         obs=obs,
     )
-    result, report = ALGORITHMS[algorithm](graph, system, mode, **kwargs)
+    # The backend decides which per-phase dispatch path the drivers
+    # take (the IRU runs the baseline structure; its hook lives in the
+    # device's memory path); the report still names the backend.
+    phase_mode = backend.phase_mode(algorithm)
+    result, report = ALGORITHMS[algorithm](graph, system, phase_mode, **kwargs)
+    report.system = backend.name
     return RunOutcome(result=result, report=report, system=system)
 
 

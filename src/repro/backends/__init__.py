@@ -1,0 +1,52 @@
+"""Pluggable accelerator backends.
+
+This package is the single extension point for system modes: the
+:class:`~repro.backends.base.AcceleratorBackend` protocol, the
+string-keyed registry, and the four built-in backends (``gpu``,
+``scu-basic``, ``scu-enhanced``, ``iru``).  ``build_system``, request
+validation, the CLI, the serve protocol, and the bench/sweep/loadtest
+grids all resolve mode names through :func:`available_modes` /
+:func:`get_backend` instead of keeping their own literals.
+"""
+
+from __future__ import annotations
+
+from .base import AcceleratorBackend, BackendCapabilities
+from .baseline import BaselineBackend
+from .iru import (
+    IRU_CONFIGS,
+    IRU_GTX980,
+    IRU_TX1,
+    IrregularAccessReorderUnit,
+    IruBackend,
+    IruConfig,
+)
+from .modes import SystemMode
+from .registry import all_backends, available_modes, get_backend, register_backend
+from .scu import ScuBackend, ScuEnhancedBackend
+
+# Built-ins register at import time, in the paper's presentation order;
+# available_modes() reproduces this order everywhere modes are listed.
+register_backend(BaselineBackend())
+register_backend(ScuBackend())
+register_backend(ScuEnhancedBackend())
+register_backend(IruBackend())
+
+__all__ = [
+    "AcceleratorBackend",
+    "BackendCapabilities",
+    "BaselineBackend",
+    "ScuBackend",
+    "ScuEnhancedBackend",
+    "IruBackend",
+    "IruConfig",
+    "IrregularAccessReorderUnit",
+    "IRU_CONFIGS",
+    "IRU_GTX980",
+    "IRU_TX1",
+    "SystemMode",
+    "available_modes",
+    "get_backend",
+    "all_backends",
+    "register_backend",
+]

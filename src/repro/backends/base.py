@@ -1,0 +1,172 @@
+"""The accelerator-backend protocol.
+
+An :class:`AcceleratorBackend` is one pluggable accelerator model — the
+GPU-only baseline, the paper's SCU (basic or enhanced), or the follow-on
+IRU — described through one uniform surface:
+
+* **identity** — ``name`` (the wire mode string, the registry key) and
+  the matching :class:`~repro.backends.modes.SystemMode` member;
+* **capabilities** — which optimisations the model provides (compaction
+  offload, hash filtering, grouping, access reordering), consumed by
+  docs, the CLI, and tests;
+* **system-build hook** — :meth:`build_system` constructs the simulated
+  system; backends declare their own device adjustments via
+  :meth:`device_config` / :meth:`attach` instead of ``build_system``
+  growing one boolean flag per accelerator;
+* **per-phase intercept point** — :meth:`phase_mode` names the dispatch
+  path the algorithm drivers take at each filtering / grouping /
+  compaction phase.  Backends that intercept the memory path instead
+  (the IRU) run the baseline phase structure and hook the coalescer's
+  input stream inside the device model;
+* **area / energy contribution** — :meth:`area_mm2` and
+  :meth:`static_power_w`, so accounting needs no mode ``if``-ladders.
+
+Registering an instance with
+:func:`repro.backends.registry.register_backend` is the single
+extension point: ``build_system``, :class:`~repro.request.RunRequest`
+validation, the CLI, the serve protocol, and the bench/sweep grids all
+resolve modes through the registry.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError
+from ..gpu.config import GPU_SYSTEMS, GpuConfig
+from ..gpu.device import GpuDevice
+from ..mem.address_space import DeviceContext
+from ..obs import NULL_OBS, Observability
+from .modes import SystemMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.api import ScuSystem
+    from ..core.config import ScuConfig
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one accelerator model does to the simulated system."""
+
+    #: compaction phases run on the accelerator instead of the SMs
+    offloads_compaction: bool = False
+    #: hash-based duplicate filtering passes are available (Section 4.2)
+    filtering: bool = False
+    #: grouping / reordering of compacted streams (Section 4.3)
+    grouping: bool = False
+    #: re-sequences the GPU coalescer's input address stream (IRU)
+    reorders_accesses: bool = False
+
+
+class AcceleratorBackend(ABC):
+    """One registered accelerator model (see module docstring)."""
+
+    #: canonical mode string — the registry key and the wire-form name.
+    name: str
+    #: one-line human description (CLI/docs).
+    description: str
+    #: capability flags of this model.
+    capabilities: BackendCapabilities = BackendCapabilities()
+
+    @property
+    def system_mode(self) -> SystemMode:
+        """The typed :class:`SystemMode` member this backend serves."""
+        return SystemMode(self.name)
+
+    # -- per-phase intercept point ----------------------------------------
+
+    def phase_mode(self, algorithm: str) -> SystemMode:
+        """Which per-phase dispatch path the algorithm drivers take.
+
+        Backends that offload compaction return their own mode; backends
+        that intercept the memory path (the IRU) return
+        :attr:`SystemMode.GPU` so every filtering / grouping / compaction
+        phase runs the baseline structure while the device-level hook
+        does the work.
+        """
+        return self.system_mode
+
+    # -- system-build hooks -------------------------------------------------
+
+    def device_config(self, config: GpuConfig, *, memory_scale: float) -> GpuConfig:
+        """Per-backend device adjustments, applied before construction.
+
+        The default is the identity: existing backends model units
+        *beside* an unmodified GPU.  A backend that needs a different
+        device (altered L2 policy, extra queues) overrides this instead
+        of ``build_system`` growing another boolean parameter.
+        """
+        return config
+
+    def attach(
+        self,
+        system: "ScuSystem",
+        *,
+        gpu_name: str,
+        scu_config: "ScuConfig | None",
+        memory_scale: float,
+    ) -> None:
+        """Install this backend's accelerator units on a fresh system.
+
+        Called exactly once per :meth:`build_system`, right after the
+        GPU device and device context exist and before any graph data is
+        placed — allocation order in the simulated address space is part
+        of the byte-identity contract.  The baseline attaches nothing.
+        """
+
+    # -- area / energy contribution ----------------------------------------
+
+    def area_mm2(self, gpu_name: str) -> float:
+        """Extra die area this backend's unit adds (0 for the baseline)."""
+        return 0.0
+
+    def static_power_w(self, system: "ScuSystem") -> float:
+        """Extra leakage the attached unit adds to the run's makespan."""
+        return 0.0
+
+    # -- the shared system constructor --------------------------------------
+
+    def build_system(
+        self,
+        gpu_name: str,
+        *,
+        scu_config: "ScuConfig | None" = None,
+        memory_scale: float = 1.0,
+        obs: Observability | None = None,
+    ) -> "ScuSystem":
+        """Construct the simulated system this backend runs on.
+
+        The construction order (GPU device, device context, accelerator
+        attach) is fixed and shared by every backend so simulated
+        address-space layout — and therefore every downstream number —
+        is a pure function of (backend, gpu_name, config, scale).
+        """
+        from ..core.api import ScuSystem  # runtime import: api builds on us
+
+        if gpu_name not in GPU_SYSTEMS:
+            known = ", ".join(GPU_SYSTEMS)
+            raise ConfigError(f"unknown GPU {gpu_name!r}; known systems: {known}")
+        if memory_scale <= 0:
+            raise ConfigError(f"memory_scale must be positive, got {memory_scale}")
+        if obs is None:
+            obs = NULL_OBS
+        config = self.device_config(GPU_SYSTEMS[gpu_name], memory_scale=memory_scale)
+        gpu = GpuDevice(config, obs=obs, memory_scale=memory_scale)
+        ctx = DeviceContext()
+        system = ScuSystem(gpu=gpu, ctx=ctx, obs=obs, backend=self)
+        self.attach(
+            system,
+            gpu_name=gpu_name,
+            scu_config=scu_config,
+            memory_scale=memory_scale,
+        )
+        return system
+
+    @abstractmethod
+    def describe(self) -> str:
+        """One-line summary used by ``repro info`` style surfaces."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} mode={self.name!r}>"

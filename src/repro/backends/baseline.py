@@ -1,0 +1,21 @@
+"""The GPU-only baseline backend.
+
+No accelerator is attached: every compaction phase runs as scan-based
+kernels on the SMs, exactly the system the paper's Figure 1 profiles.
+All other backends are measured against this one.
+"""
+
+from __future__ import annotations
+
+from .base import AcceleratorBackend, BackendCapabilities
+
+
+class BaselineBackend(AcceleratorBackend):
+    """``gpu`` — the unmodified GPU, compaction on the SMs."""
+
+    name = "gpu"
+    description = "GPU-only baseline (scan-based compaction on the SMs)"
+    capabilities = BackendCapabilities()
+
+    def describe(self) -> str:
+        return self.description

@@ -1,0 +1,225 @@
+"""The Irregular Accesses Reorder Unit (IRU) backend.
+
+Analytical model of the same authors' follow-on proposal ("Irregular
+Accesses Reorder Unit: Improving GPGPU Memory Coalescing for Graph-Based
+Workloads", arXiv 2007.07131).  Where the SCU *offloads* stream
+compaction, the IRU attacks the same memory-divergence problem in
+place: a small buffer in the memory pipeline delays irregular accesses
+and drains them grouped by cache line, so the warp coalescer downstream
+sees runs of same-line addresses instead of a random interleaving.
+
+Model:
+
+* **functional** — :meth:`IrregularAccessReorderUnit.reorder`
+  re-sequences the coalescer's input address stream within consecutive
+  bounded windows of ``window_entries`` elements (a streamed sort — the
+  idealised drain order of a line-grouping buffer).  Sequential streams
+  are already sorted and pass through unchanged; divergent gathers are
+  the ones that benefit.  The reordered stream then flows through the
+  *existing* warp coalescer, L2 model, and DRAM model, so
+  coalescing-efficiency gains and DRAM row-locality gains emerge from
+  the same machinery every other backend is priced with.
+* **overhead** — draining a window is pipelined with execution; the
+  exposed (non-overlapped) cost per kernel is a setup latency plus an
+  ``exposed_fraction`` of the streaming time at ``lanes x clock``
+  elements per second.  Dynamic energy is a few pJ per reordered
+  element plus the unit's (small) active power over its busy time;
+  leakage and area follow the SCU's synthesis-analog style, an order of
+  magnitude below the SCU's — the follow-on paper's selling point is
+  precisely that reordering needs no megabyte-class hash storage.
+
+The window is a fixed hardware buffer sized in *entries*, independent
+of the dataset, so — unlike the SCU hash tables — it is **not** scaled
+by ``memory_scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ConfigError
+from .base import AcceleratorBackend, BackendCapabilities
+from .modes import SystemMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.api import ScuSystem
+    from ..core.config import ScuConfig
+
+
+@dataclass(frozen=True)
+class IruConfig:
+    """Hardware parameters of one IRU variant (per target GPU)."""
+
+    name: str
+    clock_hz: float  # matched to the host GPU, like the SCU
+    lanes: int  # addresses accepted/drained per cycle
+    window_entries: int  # reorder-buffer capacity, in addresses
+    #: per-kernel exposed latency of configuring/flushing the unit
+    op_setup_s: float = 1e-7
+    #: fraction of the streaming time not hidden under execution
+    exposed_fraction: float = 0.05
+    #: buffer insert + tag match + drain, per reordered address
+    energy_per_element_pj: float = 1.6
+    #: active power while the unit streams (4-lane reference scale)
+    active_power_w: float = 0.18
+    #: leakage at the 4-lane reference scale (area-scaled like the SCU)
+    static_power_w: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ConfigError(f"{self.name}: lanes must be positive")
+        if self.clock_hz <= 0:
+            raise ConfigError(f"{self.name}: clock must be positive")
+        if self.window_entries <= 1:
+            raise ConfigError(f"{self.name}: window must hold at least 2 entries")
+        if not 0.0 <= self.exposed_fraction <= 1.0:
+            raise ConfigError(f"{self.name}: exposed fraction must be in [0, 1]")
+
+    @property
+    def elements_per_second(self) -> float:
+        return self.lanes * self.clock_hz
+
+    # -- area model (synthesis substitute, cf. ScuConfig) -------------------
+    # A control base plus a per-lane datapath term; the buffer itself is
+    # a few KB of CAM/SRAM, far from the SCU's megabyte-class hashes.
+
+    AREA_BASE_MM2 = 0.11
+    AREA_PER_LANE_MM2 = 0.36
+
+    @property
+    def area_mm2(self) -> float:
+        return self.AREA_BASE_MM2 + self.AREA_PER_LANE_MM2 * self.lanes
+
+    def area_overhead_fraction(self, gpu_die_area_mm2: float) -> float:
+        if gpu_die_area_mm2 <= 0:
+            raise ConfigError("GPU die area must be positive")
+        return self.area_mm2 / (gpu_die_area_mm2 + self.area_mm2)
+
+    def with_window(self, window_entries: int) -> "IruConfig":
+        """Design-space variant with a different reorder window."""
+        return replace(self, window_entries=window_entries)
+
+
+#: Per-GPU variants, mirroring the SCU's Table 2 scaling: wide unit next
+#: to the desktop GPU, single-lane next to the low-power one.
+IRU_GTX980 = IruConfig(
+    name="IRU-GTX980", clock_hz=1.27e9, lanes=4, window_entries=1024
+)
+IRU_TX1 = IruConfig(name="IRU-TX1", clock_hz=1.0e9, lanes=1, window_entries=256)
+
+IRU_CONFIGS = {"GTX980": IRU_GTX980, "TX1": IRU_TX1}
+
+#: 4-lane reference area the power figures are quoted at.
+_REFERENCE_AREA_MM2 = IruConfig.AREA_BASE_MM2 + 4 * IruConfig.AREA_PER_LANE_MM2
+
+
+@dataclass
+class IrregularAccessReorderUnit:
+    """The attached unit: functional reorder plus its cost accounting."""
+
+    config: IruConfig
+
+    def reorder(self, addresses: np.ndarray) -> np.ndarray:
+        """Re-sequence an address stream within bounded windows.
+
+        Deterministic and exact: consecutive ``window_entries``-sized
+        windows are each drained in sorted address order (same-line
+        accesses leave back-to-back); the trailing partial window drains
+        the same way.  Order across windows is preserved — the buffer
+        cannot reorder further than its capacity.
+        """
+        a = np.ascontiguousarray(np.asarray(addresses, dtype=np.int64))
+        n = a.size
+        window = self.config.window_entries
+        if n <= 1:
+            return a
+        full = (n // window) * window
+        out = np.empty(n, dtype=np.int64)
+        if full:
+            out[:full] = np.sort(a[:full].reshape(-1, window), axis=1).ravel()
+        if n > full:
+            out[full:] = np.sort(a[full:])
+        return out
+
+    def intercept(
+        self, addresses: np.ndarray, active_mask: np.ndarray | None = None
+    ) -> "tuple[np.ndarray, int] | None":
+        """Device-side hook: reorder one access stream, or bypass it.
+
+        Regular (already-ordered) streams bypass the buffer — the
+        compiler only routes marked irregular accesses through the IRU —
+        so they pay no reorder cost and flow to the coalescer untouched
+        (``None``).  Irregular streams come back re-sequenced with their
+        active mask pre-applied (masked-off lanes never enter the
+        buffer), plus the element count the overhead model charges for.
+        """
+        a = np.asarray(addresses, dtype=np.int64)
+        if active_mask is not None:
+            a = a[np.asarray(active_mask, dtype=bool)]
+        if a.size <= 1 or bool(np.all(np.diff(a) >= 0)):
+            return None
+        return self.reorder(a), int(a.size)
+
+    # -- cost accounting ----------------------------------------------------
+
+    def exposed_time_s(self, elements: int) -> float:
+        """Non-overlapped latency the unit adds to one kernel launch."""
+        if elements <= 0:
+            return 0.0
+        streaming = elements / self.config.elements_per_second
+        return self.config.op_setup_s + self.config.exposed_fraction * streaming
+
+    def dynamic_energy_j(self, elements: int) -> float:
+        """Energy of pushing ``elements`` addresses through the buffer."""
+        if elements <= 0:
+            return 0.0
+        switching = elements * self.config.energy_per_element_pj * 1e-12
+        busy_s = elements / self.config.elements_per_second
+        scale = self.config.area_mm2 / _REFERENCE_AREA_MM2
+        return switching + self.config.active_power_w * scale * busy_s
+
+    @property
+    def static_power_w(self) -> float:
+        """Leakage, scaled by synthesized area like the SCU's."""
+        scale = self.config.area_mm2 / _REFERENCE_AREA_MM2
+        return self.config.static_power_w * scale
+
+
+class IruBackend(AcceleratorBackend):
+    """``iru`` — baseline phase structure, reordered memory path."""
+
+    name = "iru"
+    description = "IRU: bounded-window reordering of irregular accesses"
+    capabilities = BackendCapabilities(reorders_accesses=True)
+
+    def phase_mode(self, algorithm: str) -> SystemMode:
+        # Compaction stays on the SMs; the intercept lives in the
+        # device's memory path, not in the phase drivers.
+        return SystemMode.GPU
+
+    def attach(
+        self,
+        system: "ScuSystem",
+        *,
+        gpu_name: str,
+        scu_config: "ScuConfig | None",
+        memory_scale: float,
+    ) -> None:
+        unit = IrregularAccessReorderUnit(config=IRU_CONFIGS[gpu_name])
+        system.iru = unit
+        # The backend's device adjustment: hook the coalescer input.
+        system.gpu.attach_reorderer(unit)
+
+    def area_mm2(self, gpu_name: str) -> float:
+        return IRU_CONFIGS[gpu_name].area_mm2
+
+    def static_power_w(self, system: "ScuSystem") -> float:
+        if system.iru is None:
+            return 0.0
+        return system.iru.static_power_w
+
+    def describe(self) -> str:
+        return self.description

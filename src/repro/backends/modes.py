@@ -1,0 +1,27 @@
+"""The canonical system-mode enumeration.
+
+Historically :class:`SystemMode` lived in ``repro.algorithms.common``
+and named the three systems the paper compares.  With the accelerator
+registry it moved here — a leaf module with no model imports — so both
+the algorithm drivers and the backend registry can reference it without
+a cycle.  ``repro.algorithms.common`` re-exports it, so existing
+imports keep working.
+
+A mode is the *wire name* of an accelerator backend; the authoritative
+list of usable modes is :func:`repro.backends.available_modes`, which
+reflects the registry (one registered backend per enum member — pinned
+by a test so the two can never drift).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SystemMode(enum.Enum):
+    """The simulated system variants (one per registered backend)."""
+
+    GPU = "gpu"  # baseline: compaction runs on the SMs
+    SCU_BASIC = "scu-basic"  # Section 3: compaction offloaded
+    SCU_ENHANCED = "scu-enhanced"  # Section 4: + filtering / grouping
+    IRU = "iru"  # follow-on paper (arXiv 2007.07131): access reordering

@@ -1,0 +1,73 @@
+"""The string-keyed accelerator-backend registry.
+
+One canonical mode list, one extension point: ``build_system``,
+:class:`~repro.request.RunRequest` validation, the CLI's argparse
+choices, the serve protocol's 400s, and the bench/sweep/loadtest grids
+all resolve mode names through this module instead of keeping their own
+literals.
+
+Registration order is presentation order — the built-in backends
+register in the paper's order (gpu, scu-basic, scu-enhanced, iru), and
+:func:`available_modes` reproduces it deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+from .base import AcceleratorBackend
+from .modes import SystemMode
+
+_REGISTRY: Dict[str, AcceleratorBackend] = {}
+
+
+def register_backend(backend: AcceleratorBackend) -> AcceleratorBackend:
+    """Register one backend under its canonical mode string.
+
+    The mode must also be a :class:`SystemMode` member (the typed form
+    requests and sweep cells carry); registering a name the enum does
+    not know — or double-registering a name — is a configuration error,
+    caught at import time for the built-ins.
+    """
+    name = backend.name
+    try:
+        SystemMode(name)
+    except ValueError:
+        known = ", ".join(m.value for m in SystemMode)
+        raise ConfigError(
+            f"backend mode {name!r} has no SystemMode member; known: {known}"
+        ) from None
+    if name in _REGISTRY:
+        raise ConfigError(f"backend mode {name!r} is already registered")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def available_modes() -> Tuple[str, ...]:
+    """Every registered mode string, in registration order.
+
+    The single source of truth for mode names — consumed by request
+    validation, the CLI, the serve protocol, and the load/bench grids.
+    """
+    return tuple(_REGISTRY)
+
+
+def get_backend(mode: "SystemMode | str") -> AcceleratorBackend:
+    """Resolve a mode (string or enum) to its registered backend.
+
+    Raises a typed :class:`~repro.errors.ConfigError` for unknown modes;
+    the service edge maps its own :class:`~repro.errors.ProtocolError`
+    to a 400 before execution ever reaches this lookup.
+    """
+    name = mode.value if isinstance(mode, SystemMode) else mode
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        known = ", ".join(available_modes())
+        raise ConfigError(f"unknown system mode {name!r}; known modes: {known}")
+    return backend
+
+
+def all_backends() -> Tuple[AcceleratorBackend, ...]:
+    """Every registered backend, in registration order."""
+    return tuple(_REGISTRY.values())

@@ -1,0 +1,70 @@
+"""The paper's Stream Compaction Unit as two registered backends.
+
+``scu-basic`` offloads the compaction operations (Section 3);
+``scu-enhanced`` additionally drives the filtering and grouping passes
+(Section 4).  Both attach the *same* hardware unit — enhancement is a
+property of how the algorithm drivers use it, expressed through
+:meth:`phase_mode` — so the simulated system is identical and the
+byte-identity A/B tests pin both paths against the pre-registry code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.config import SCU_CONFIGS
+from ..core.energy import scu_static_power_w
+from ..core.unit import StreamCompactionUnit
+from .base import AcceleratorBackend, BackendCapabilities
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.api import ScuSystem
+    from ..core.config import ScuConfig
+
+
+class ScuBackend(AcceleratorBackend):
+    """``scu-basic`` — compaction offloaded to the SCU (Section 3)."""
+
+    name = "scu-basic"
+    description = "SCU offload: compaction runs on the dedicated unit"
+    capabilities = BackendCapabilities(offloads_compaction=True)
+
+    def attach(
+        self,
+        system: "ScuSystem",
+        *,
+        gpu_name: str,
+        scu_config: "ScuConfig | None",
+        memory_scale: float,
+    ) -> None:
+        config = scu_config if scu_config is not None else SCU_CONFIGS[gpu_name]
+        if memory_scale != 1.0:
+            config = config.with_hash_scale(1.0 / memory_scale)
+        system.scu = StreamCompactionUnit(
+            config=config,
+            hierarchy=system.gpu.hierarchy,
+            ctx=system.ctx,
+            l2_bandwidth_bps=system.gpu.config.l2_bandwidth_bps,
+            obs=system.obs,
+        )
+
+    def area_mm2(self, gpu_name: str) -> float:
+        return SCU_CONFIGS[gpu_name].area_mm2
+
+    def static_power_w(self, system: "ScuSystem") -> float:
+        if system.scu is None:
+            return 0.0
+        return scu_static_power_w(system.scu.config)
+
+    def describe(self) -> str:
+        return self.description
+
+
+class ScuEnhancedBackend(ScuBackend):
+    """``scu-enhanced`` — SCU plus filtering / grouping (Section 4)."""
+
+    name = "scu-enhanced"
+    description = "SCU offload plus hash filtering and grouping passes"
+    capabilities = BackendCapabilities(
+        offloads_compaction=True, filtering=True, grouping=True
+    )

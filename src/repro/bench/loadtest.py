@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backends import available_modes
 from ..errors import BenchError
 from ..obs.promtext import (
     bucket_cumulative,
@@ -110,8 +111,9 @@ class LoadtestConfig:
     algorithms: Tuple[str, ...] = ("bfs",)
     datasets: Tuple[str, ...] = ("delaunay", "human", "kron")
     gpus: Tuple[str, ...] = ("TX1",)
-    modes: Tuple[str, ...] = ("gpu", "scu-basic", "scu-enhanced")
-    keys: int = 9  # population truncated to the first N cells
+    #: every registered backend mode, in registry order
+    modes: Tuple[str, ...] = field(default_factory=lambda: tuple(available_modes()))
+    keys: int = 12  # population truncated to the first N cells
     zipf_s: float = 1.1  # popularity skew exponent (0 = uniform)
     seed: int = 42
     # in-process server sizing (ignored when targeting an external URL)

@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..algorithms.common import SystemMode
 from ..algorithms.runner import ALGORITHM_NAMES
+from ..backends import available_modes
 from ..gpu.config import GPU_SYSTEMS
 from ..graph.datasets import DATASET_NAMES
 from ..harness.experiments import GPU_NAMES, _mode_for
@@ -90,7 +91,8 @@ def default_grid(
         algorithms=tuple(algorithms or ALGORITHM_NAMES),
         datasets=tuple(datasets),
         gpus=tuple(gpus or GPU_NAMES),
-        modes=tuple(SystemMode),
+        # every registered backend, in registry order
+        modes=tuple(SystemMode(name) for name in available_modes()),
         reps=max(1, reps),
         quick=quick,
     )

@@ -23,7 +23,7 @@ from ..harness.registry import EXPERIMENTS
 from ..harness.results import ExperimentResult
 
 #: Experiment drivers that accept the (datasets=..., gpus=...) grid kwargs.
-_GRID_EXPERIMENTS = ("fig1", "fig9", "fig10", "fig11", "fig13", "headline")
+_GRID_EXPERIMENTS = ("fig1", "fig9", "fig10", "fig11", "fig13", "headline", "iru")
 
 STATUS_PASS = "pass"
 STATUS_FAIL = "FAIL"
@@ -115,7 +115,8 @@ def scoreboard_cells(
     the same way a serial sweep fills the cache.  Covers the GPU
     baseline and effective SCU-enhanced cell of every (algorithm,
     dataset, GPU), the basic-SCU cells Figure 11 compares (BFS/SSSP),
-    and Figure 12's filtering-only SSSP variants.
+    the IRU cells of the head-to-head experiment (BFS/SSSP), and
+    Figure 12's filtering-only SSSP variants.
     """
     cells: List[SweepCell] = []
     for algorithm in ALGORITHM_NAMES:
@@ -124,6 +125,7 @@ def scoreboard_cells(
                 modes = [SystemMode.GPU, _mode_for(algorithm, SystemMode.SCU_ENHANCED)]
                 if algorithm in ("bfs", "sssp"):
                     modes.append(SystemMode.SCU_BASIC)
+                    modes.append(SystemMode.IRU)
                 for mode in dict.fromkeys(modes):
                     cells.append(
                         SweepCell(

@@ -47,6 +47,7 @@ import sys
 import time
 
 from .algorithms import ALGORITHMS, SystemMode, run_algorithm
+from .backends import IRU_CONFIGS, all_backends, available_modes
 from .core.config import SCU_CONFIGS
 from .errors import ReproError
 from .gpu.config import GPU_SYSTEMS
@@ -82,8 +83,19 @@ def _cmd_datasets(_args) -> int:
     return 0
 
 
+def _selected_modes(args) -> list:
+    """The system modes one ``repro run`` invocation simulates.
+
+    The default sweeps every registered backend (in registry order);
+    ``--mode NAME`` restricts the run to one of them.
+    """
+    if getattr(args, "mode", "all") == "all":
+        return [SystemMode(name) for name in available_modes()]
+    return [SystemMode(args.mode)]
+
+
 def _run_modes_parallel(args, kwargs) -> list:
-    """Shard the three system modes across workers; reports in mode order."""
+    """Shard the selected system modes across workers; reports in mode order."""
     from .harness.parallel import SweepCell, sweep_cells
 
     cells = [
@@ -94,7 +106,7 @@ def _run_modes_parallel(args, kwargs) -> list:
             mode=mode,
             kwargs=tuple(sorted(kwargs.items())),
         )
-        for mode in SystemMode
+        for mode in _selected_modes(args)
     ]
     outcomes = sweep_cells(cells, jobs=args.jobs)
     return [
@@ -111,12 +123,12 @@ def _cmd_run(args) -> int:
         kwargs["source"] = args.source
     obs = make_observability() if args.trace else None
     if obs is None and args.jobs > 1:
-        # Tracing needs one registry across all three runs, so --trace
+        # Tracing needs one registry across all runs, so --trace
         # stays serial; otherwise the modes are independent simulations.
         runs = _run_modes_parallel(args, kwargs)
     else:
         runs = []
-        for mode in SystemMode:
+        for mode in _selected_modes(args):
             started = time.time()
             if obs is not None:
                 with obs.tracer.span(f"run.{mode.value}", "cli", system=mode.value):
@@ -257,7 +269,9 @@ def _cmd_profile(args) -> int:
 
 def _cmd_experiment(args) -> int:
     kwargs = {}
-    if args.quick and args.id in ("fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "headline"):
+    if args.quick and args.id in (
+        "fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "headline", "iru"
+    ):
         kwargs["datasets"] = QUICK_DATASETS
     print(render_table(run_experiment(args.id, **kwargs)))
     return 0
@@ -527,12 +541,38 @@ def _cmd_export(args) -> int:
 
 
 def _cmd_info(_args) -> int:
+    rows = []
+    for backend in all_backends():
+        caps = backend.capabilities
+        flags = ", ".join(
+            name
+            for name, on in (
+                ("compaction-offload", caps.offloads_compaction),
+                ("filtering", caps.filtering),
+                ("grouping", caps.grouping),
+                ("access-reorder", caps.reorders_accesses),
+            )
+            if on
+        )
+        rows.append((backend.name, backend.describe() + (f" [{flags}]" if flags else "")))
+    print(render_key_value("Registered accelerator backends", rows))
+    print()
     for name, config in GPU_SYSTEMS.items():
         print(render_key_value(f"GPU system: {name}", config.describe()))
         scu = SCU_CONFIGS[name]
         rows = scu.describe_table1() + scu.describe_table2()
         rows.append(("Synthesized Area", f"{scu.area_mm2:.2f} mm2"))
         print(render_key_value(f"SCU for {name}", rows))
+        iru = IRU_CONFIGS[name]
+        print(render_key_value(
+            f"IRU for {name}",
+            [
+                ("Lanes", str(iru.lanes)),
+                ("Clock", f"{iru.clock_hz / 1e9:.2f} GHz"),
+                ("Reorder window", f"{iru.window_entries} entries"),
+                ("Synthesized Area", f"{iru.area_mm2:.2f} mm2"),
+            ],
+        ))
         print()
     return 0
 
@@ -554,14 +594,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--gpu", choices=sorted(GPU_SYSTEMS), default="TX1")
     run_parser.add_argument("--source", type=int, default=None)
     run_parser.add_argument(
+        "--mode",
+        choices=["all", *available_modes()],
+        default="all",
+        help="restrict the run to one registered system mode "
+        "(default: sweep them all)",
+    )
+    run_parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
-        help="write a Chrome trace of all three system runs to PATH",
+        help="write a Chrome trace of the selected system runs to PATH",
     )
     run_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="simulate the three system modes across N worker processes "
+        help="simulate the selected system modes across N worker processes "
         "(ignored with --trace, which needs one shared trace registry)",
     )
     run_parser.set_defaults(func=_cmd_run)
@@ -572,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--gpu", choices=sorted(GPU_SYSTEMS), default="TX1")
         sub.add_argument(
             "--mode",
-            choices=[m.value for m in SystemMode],
+            choices=list(available_modes()),
             default=SystemMode.SCU_ENHANCED.value,
         )
 
@@ -834,8 +881,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="arrivals per second in open-loop mode (default 20)",
     )
     loadtest_parser.add_argument(
-        "--keys", type=int, default=9, metavar="N",
-        help="distinct request keys in the population (default 9)",
+        "--keys", type=int, default=12, metavar="N",
+        help="distinct request keys in the population (default 12: the "
+        "full default grid of one algorithm x three datasets x all "
+        "registered modes)",
     )
     loadtest_parser.add_argument(
         "--zipf", type=float, default=1.1, metavar="S",

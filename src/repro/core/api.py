@@ -1,9 +1,15 @@
-"""The "simple API" through which applications use the SCU (Section 3).
+"""The "simple API" through which applications use the accelerators.
 
 :class:`ScuSystem` bundles a GPU device model, its memory hierarchy, a
-device context (address space), and — when present — the attached SCU.
-``build_system("TX1")`` gives the paper's low-power system with the SCU;
-``build_system("GTX980", with_scu=False)`` gives the GPU-only baseline.
+device context (address space), and — when present — the attached
+accelerator unit(s).  ``build_system("TX1")`` gives the paper's
+low-power system with the SCU; ``build_system("GTX980", mode="gpu")``
+gives the GPU-only baseline; ``build_system("TX1", mode="iru")`` swaps
+the SCU for the follow-on reorder unit.
+
+Which unit gets attached — and any device adjustments it needs — is
+decided by the resolved :class:`~repro.backends.base.AcceleratorBackend`,
+not by boolean flags here; see :mod:`repro.backends`.
 
 The method names mirror the pseudo-code of Algorithms 1-5
 (``accessExpansionCompactionSCU`` et al.) so the algorithm
@@ -12,20 +18,27 @@ implementations read like the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigError
-from ..gpu.config import GPU_SYSTEMS, GpuConfig
+from ..gpu.config import GpuConfig
 from ..gpu.device import GpuDevice
 from ..mem.address_space import DeviceContext
 from ..obs import NULL_OBS, Observability
-from .config import SCU_CONFIGS, ScuConfig
+from .config import ScuConfig
 from .unit import StreamCompactionUnit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.base import AcceleratorBackend
+    from ..backends.iru import IrregularAccessReorderUnit
+    from ..backends.modes import SystemMode
 
 
 @dataclass
 class ScuSystem:
-    """A GPU system, optionally extended with the SCU."""
+    """A GPU system, optionally extended with an accelerator unit."""
 
     gpu: GpuDevice
     ctx: DeviceContext
@@ -33,10 +46,18 @@ class ScuSystem:
     #: the tracer/metrics bundle every layer of this system reports to;
     #: NULL_OBS (all no-ops) unless one was injected via ``build_system``.
     obs: Observability = NULL_OBS
+    #: the reorder unit, when built with ``mode="iru"``.
+    iru: "IrregularAccessReorderUnit | None" = None
+    #: the backend that built this system (None for hand-assembled ones).
+    backend: "AcceleratorBackend | None" = field(default=None, repr=False)
 
     @property
     def has_scu(self) -> bool:
         return self.scu is not None
+
+    @property
+    def has_iru(self) -> bool:
+        return self.iru is not None
 
     @property
     def config(self) -> GpuConfig:
@@ -64,38 +85,52 @@ PAPER_SCALE = 16.0
 def build_system(
     gpu_name: str,
     *,
-    with_scu: bool = True,
+    mode: "SystemMode | str | None" = None,
+    with_scu: bool | None = None,
     scu_config: ScuConfig | None = None,
     memory_scale: float = 1.0,
     obs: Observability | None = None,
 ) -> ScuSystem:
     """Construct one of the paper's systems by GPU name ("GTX980" / "TX1").
 
+    ``mode`` names the accelerator backend to attach (any string from
+    :func:`repro.backends.available_modes`, or a
+    :class:`~repro.backends.modes.SystemMode` member).  The default,
+    ``"scu-enhanced"``, preserves this function's historical behaviour
+    of building the paper's full system.
+
+    ``with_scu`` is the deprecated boolean this signature grew up with;
+    it maps ``True`` to ``mode="scu-enhanced"`` and ``False`` to
+    ``mode="gpu"`` with a :class:`DeprecationWarning` and will be
+    removed in a future release — pass ``mode`` instead.
+
     ``memory_scale`` divides the modeled L2 capacity and the SCU hash
     sizes to match scaled-down datasets (see :data:`PAPER_SCALE`).
     ``obs`` injects a tracer/metrics bundle into every layer (GPU device,
-    memory hierarchy, SCU); observation is purely passive and never
-    changes a simulated number.
+    memory hierarchy, accelerator); observation is purely passive and
+    never changes a simulated number.
     """
-    if gpu_name not in GPU_SYSTEMS:
-        known = ", ".join(GPU_SYSTEMS)
-        raise ConfigError(f"unknown GPU {gpu_name!r}; known systems: {known}")
-    if memory_scale <= 0:
-        raise ConfigError(f"memory_scale must be positive, got {memory_scale}")
-    if obs is None:
-        obs = NULL_OBS
-    gpu = GpuDevice(GPU_SYSTEMS[gpu_name], obs=obs, memory_scale=memory_scale)
-    ctx = DeviceContext()
-    scu = None
-    if with_scu:
-        config = scu_config if scu_config is not None else SCU_CONFIGS[gpu_name]
-        if memory_scale != 1.0:
-            config = config.with_hash_scale(1.0 / memory_scale)
-        scu = StreamCompactionUnit(
-            config=config,
-            hierarchy=gpu.hierarchy,
-            ctx=ctx,
-            l2_bandwidth_bps=gpu.config.l2_bandwidth_bps,
-            obs=obs,
+    from ..backends import get_backend  # runtime import: backends build on core
+
+    if with_scu is not None:
+        if mode is not None:
+            raise ConfigError(
+                "build_system: pass either mode= or the deprecated with_scu=, "
+                "not both"
+            )
+        warnings.warn(
+            "build_system(with_scu=...) is deprecated and will be removed; "
+            'pass mode="scu-enhanced" (with_scu=True) or mode="gpu" '
+            "(with_scu=False) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    return ScuSystem(gpu=gpu, ctx=ctx, scu=scu, obs=obs)
+        mode = "scu-enhanced" if with_scu else "gpu"
+    if mode is None:
+        mode = "scu-enhanced"
+    return get_backend(mode).build_system(
+        gpu_name,
+        scu_config=scu_config,
+        memory_scale=memory_scale,
+        obs=obs,
+    )

@@ -9,6 +9,7 @@ energy models, and returns a :class:`~repro.phases.PhaseReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..mem.coalescer import coalesce_warp
 from ..mem.hierarchy import MemoryHierarchy, MemoryStats
@@ -18,6 +19,9 @@ from .config import GpuConfig
 from .energy import kernel_dynamic_energy_j
 from .kernel import KernelSpec
 from .timing import kernel_timing
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.iru import IrregularAccessReorderUnit
 
 
 @dataclass
@@ -33,6 +37,9 @@ class GpuDevice:
     config: GpuConfig
     obs: Observability = NULL_OBS
     memory_scale: float = 1.0
+    #: optional IRU hook on the coalescer's input (see repro.backends.iru);
+    #: None for every backend except ``iru``.
+    reorderer: "IrregularAccessReorderUnit | None" = None
     hierarchy: MemoryHierarchy = field(init=False)
 
     def __post_init__(self) -> None:
@@ -49,6 +56,10 @@ class GpuDevice:
         self.obs = obs
         self.hierarchy.attach_obs(obs)
 
+    def attach_reorderer(self, unit: "IrregularAccessReorderUnit") -> None:
+        """Install an IRU on the coalescer input path (backend hook)."""
+        self.reorderer = unit
+
     def run(self, spec: KernelSpec) -> PhaseReport:
         """Execute (cost-model) one kernel launch.
 
@@ -64,11 +75,29 @@ class GpuDevice:
         ) as span:
             memory = MemoryStats()
             dram_s = 0.0
+            iru_elements = 0
             for stream in spec.accesses:
-                result = coalesce_warp(stream.addresses, active_mask=stream.active_mask)
+                addresses = stream.addresses
+                active_mask = stream.active_mask
+                if self.reorderer is not None and not stream.is_atomic:
+                    # The unit bypasses regular (already-ordered) streams;
+                    # only irregular ones enter the buffer and pay its cost.
+                    intercepted = self.reorderer.intercept(
+                        addresses, active_mask=active_mask
+                    )
+                    if intercepted is not None:
+                        addresses, count = intercepted
+                        active_mask = None  # mask pre-applied by the unit
+                        iru_elements += count
+                result = coalesce_warp(addresses, active_mask=active_mask)
                 stats = self.hierarchy.process(result, l2_bypass=stream.l2_bypass)
                 dram_s += self.hierarchy.dram_time_s(stats)
                 memory = memory.merged(stats)
+            iru_overhead_s = 0.0
+            iru_energy_j = 0.0
+            if iru_elements:
+                iru_overhead_s = self.reorderer.exposed_time_s(iru_elements)
+                iru_energy_j = self.reorderer.dynamic_energy_j(iru_elements)
             atomics = spec.atomic_count
             timing = kernel_timing(
                 self.config,
@@ -88,6 +117,8 @@ class GpuDevice:
                 atomics=atomics,
                 busy_time_s=timing.total_s + spec.extra_overhead_s,
             )
+            time_s = timing.total_s + spec.extra_overhead_s + iru_overhead_s
+            energy += iru_energy_j
             if self.obs.enabled:
                 metrics = self.obs.metrics
                 metrics.counter("gpu.kernel.launches").inc(kernel=spec.name)
@@ -96,8 +127,13 @@ class GpuDevice:
                     metrics.histogram("gpu.warp.coalesce_factor").observe(
                         memory.coalescing_factor, kernel=spec.name
                     )
+                if iru_elements:
+                    metrics.counter("iru.kernel.elements").inc(
+                        iru_elements, kernel=spec.name
+                    )
+                    metrics.counter("iru.kernel.exposed_s").inc(iru_overhead_s)
                 span.annotate(
-                    sim_time_s=timing.total_s + spec.extra_overhead_s,
+                    sim_time_s=time_s,
                     sim_energy_j=energy,
                     bottleneck=timing.bottleneck,
                     transactions=memory.transactions,
@@ -109,7 +145,7 @@ class GpuDevice:
                 kind=spec.kind,
                 elements=spec.threads,
                 instructions=spec.total_instructions,
-                time_s=timing.total_s + spec.extra_overhead_s,
+                time_s=time_s,
                 dynamic_energy_j=energy,
                 memory=memory,
             )

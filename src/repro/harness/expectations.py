@@ -153,6 +153,38 @@ def _fig13_max_utilization(result: ExperimentResult) -> float:
     return max(values) if values else float("nan")
 
 
+def _iru_avg(column: str):
+    def extract(result: ExperimentResult) -> float:
+        rows = result.lookup(dataset="AVG")
+        return float(rows[0][column]) if rows else float("nan")
+
+    return extract
+
+
+def _iru_min_coalesce_gain(result: ExperimentResult) -> float:
+    values = [
+        float(r["coalesce_gain_iru"])
+        for r in result.lookup()
+        if r["dataset"] != "AVG"
+    ]
+    return min(values) if values else float("nan")
+
+
+def _iru_head_to_head(dataset: str):
+    """SCU-over-IRU speedup ratio on one dataset class (> 1: SCU wins)."""
+
+    def extract(result: ExperimentResult) -> float:
+        rows = result.lookup(dataset=dataset)
+        if not rows:
+            return float("nan")
+        iru = float(rows[0]["speedup_iru"])
+        if iru == 0:
+            return float("nan")
+        return float(rows[0]["speedup_scu"]) / iru
+
+    return extract
+
+
 # ---------------------------------------------------------------------------
 # the table
 # ---------------------------------------------------------------------------
@@ -264,6 +296,52 @@ EXPECTATIONS: Tuple[Expectation, ...] = (
         "fig13.bandwidth_utilization.max", "fig13",
         "graph workloads never saturate DRAM bandwidth",
         float("nan"), "%", 0.0, 90.0, _fig13_max_utilization,
+    ),
+    # -- IRU head-to-head (follow-on proposal, arXiv 2007.07131) -----------
+    Expectation(
+        "iru.speedup.avg", "iru",
+        "geomean IRU traversal speedup over the GPU baseline",
+        1.33, "x", 1.0, INF, _iru_avg("speedup_iru"),
+    ),
+    Expectation(
+        "iru.normalized_energy.avg", "iru",
+        "IRU reduces traversal energy on average (< 1)",
+        float("nan"), "", 0.0, 1.0, _iru_avg("normalized_energy_iru"),
+    ),
+    Expectation(
+        "iru.coalesce_gain.min", "iru",
+        "reordering improves coalescing on every dataset class",
+        float("nan"), "x", 1.0, INF, _iru_min_coalesce_gain,
+    ),
+    Expectation(
+        "iru.head_to_head.ca", "iru",
+        "SCU-over-IRU speedup ratio, ca (road network)",
+        float("nan"), "x", 1.0, INF, _iru_head_to_head("ca"),
+    ),
+    Expectation(
+        "iru.head_to_head.cond", "iru",
+        "SCU-over-IRU speedup ratio, cond (collaboration network)",
+        float("nan"), "x", 1.0, INF, _iru_head_to_head("cond"),
+    ),
+    Expectation(
+        "iru.head_to_head.delaunay", "iru",
+        "SCU-over-IRU speedup ratio, delaunay (triangulation)",
+        float("nan"), "x", 1.0, INF, _iru_head_to_head("delaunay"),
+    ),
+    Expectation(
+        "iru.head_to_head.human", "iru",
+        "SCU-over-IRU speedup ratio, human (gene network)",
+        float("nan"), "x", 1.0, INF, _iru_head_to_head("human"),
+    ),
+    Expectation(
+        "iru.head_to_head.kron", "iru",
+        "SCU-over-IRU speedup ratio, kron (synthetic Graph500)",
+        float("nan"), "x", 1.0, INF, _iru_head_to_head("kron"),
+    ),
+    Expectation(
+        "iru.head_to_head.msdoor", "iru",
+        "SCU-over-IRU speedup ratio, msdoor (3D mesh)",
+        float("nan"), "x", 1.0, INF, _iru_head_to_head("msdoor"),
     ),
 )
 

@@ -399,6 +399,82 @@ def table5_datasets(*, datasets: Sequence[str] = DATASET_NAMES) -> ExperimentRes
 
 
 # ---------------------------------------------------------------------------
+# SCU vs IRU head-to-head (follow-on proposal, arXiv 2007.07131)
+# ---------------------------------------------------------------------------
+
+
+def iru_head_to_head(
+    *,
+    datasets: Sequence[str] = DATASET_NAMES,
+    gpus: Sequence[str] = GPU_NAMES,
+    algorithms: Sequence[str] = ("bfs", "sssp"),
+) -> ExperimentResult:
+    """Head-to-head of the two accelerators against the GPU baseline.
+
+    Per dataset class (geomean over traversal algorithms and GPUs):
+    speedup and normalized energy of the IRU and the enhanced SCU, plus
+    the IRU's coalescing-efficiency gain (accesses-per-transaction of
+    the GPU-side phases vs the baseline) — the metric the reorder unit
+    exists to move.  The SCU offloads compaction outright, so it should
+    win every head-to-head; the IRU's counterargument is its order-of-
+    magnitude smaller area (compare ``repro info``).
+    """
+    result = ExperimentResult(
+        "iru",
+        "IRU vs enhanced SCU vs GPU baseline (traversal geomeans)",
+        (
+            "dataset",
+            "speedup_iru",
+            "speedup_scu",
+            "normalized_energy_iru",
+            "normalized_energy_scu",
+            "coalesce_gain_iru",
+        ),
+    )
+    all_cells: dict[str, list] = {k: [] for k in
+                                  ("si", "ss", "ei", "es", "ci")}
+    for ds in datasets:
+        cells: dict[str, list] = {k: [] for k in all_cells}
+        for gpu in gpus:
+            for algorithm in algorithms:
+                base = _run(algorithm, ds, gpu, SystemMode.GPU)
+                iru = _run(algorithm, ds, gpu, SystemMode.IRU)
+                scu = _run(
+                    algorithm, ds, gpu, _mode_for(algorithm, SystemMode.SCU_ENHANCED)
+                )
+                base_coalesce = base.memory(engine=Engine.GPU).coalescing_factor
+                iru_coalesce = iru.memory(engine=Engine.GPU).coalescing_factor
+                cells["si"].append(base.time_s() / iru.time_s())
+                cells["ss"].append(base.time_s() / scu.time_s())
+                cells["ei"].append(iru.total_energy_j() / base.total_energy_j())
+                cells["es"].append(scu.total_energy_j() / base.total_energy_j())
+                cells["ci"].append(iru_coalesce / base_coalesce)
+        for k in all_cells:
+            all_cells[k].extend(cells[k])
+        result.add_row(
+            ds,
+            geometric_mean(cells["si"]),
+            geometric_mean(cells["ss"]),
+            geometric_mean(cells["ei"]),
+            geometric_mean(cells["es"]),
+            geometric_mean(cells["ci"]),
+        )
+    result.add_row(
+        "AVG",
+        geometric_mean(all_cells["si"]),
+        geometric_mean(all_cells["ss"]),
+        geometric_mean(all_cells["ei"]),
+        geometric_mean(all_cells["es"]),
+        geometric_mean(all_cells["ci"]),
+    )
+    result.add_note(
+        "IRU paper reports ~1.3x average speedup at a far smaller area "
+        "than the SCU; the SCU should win every head-to-head cell"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Headline summary (Section 6 numbers + area)
 # ---------------------------------------------------------------------------
 

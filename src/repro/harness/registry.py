@@ -18,6 +18,7 @@ from .experiments import (
     fig12_grouping_coalescing,
     fig13_bandwidth_utilization,
     headline_summary,
+    iru_head_to_head,
     table1_scu_parameters,
     table2_scu_scalability,
     table3_table4_gpu_parameters,
@@ -37,6 +38,8 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table3/4": table3_table4_gpu_parameters,
     "table5": table5_datasets,
     "headline": headline_summary,
+    # follow-on proposal: SCU vs IRU head-to-head (arXiv 2007.07131)
+    "iru": iru_head_to_head,
 }
 
 

@@ -14,7 +14,7 @@ Typical use::
     from repro.obs import make_observability
 
     obs = make_observability()
-    result, report, system = run_algorithm("bfs", graph, "TX1", mode, obs=obs)
+    outcome = run_algorithm("bfs", graph, "TX1", mode, obs=obs)
     obs.tracer.write_chrome("trace.json")   # open in ui.perfetto.dev
     print(obs.metrics.render())
 """

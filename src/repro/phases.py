@@ -56,7 +56,7 @@ class RunReport:
     """Aggregate of all phases of one algorithm run on one system."""
 
     algorithm: str
-    system: str  # "gpu", "scu-basic", "scu-enhanced"
+    system: str  # a registered mode string (repro.backends.available_modes)
     dataset: str
     phases: list[PhaseReport] = field(default_factory=list)
     static_energy_j: float = 0.0  # filled in by the runner after timing

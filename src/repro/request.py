@@ -10,21 +10,28 @@ them share, so a report computed through any entry point is a cache hit
 for every other.
 
 :class:`RunOutcome` replaces the anonymous ``(result, report, system)``
-3-tuple ``run_algorithm`` used to return.  It still iterates in exactly
-that order, so existing ``dist, report, system = run_algorithm(...)``
-call sites keep working unchanged.
+3-tuple ``run_algorithm`` used to return.  Tuple-style unpacking still
+works but is **deprecated** (it warns and will be removed); read the
+``.result`` / ``.report`` / ``.system`` attributes instead.
+
+Mode names are validated against the live accelerator-backend registry
+(:func:`repro.backends.available_modes`) — registering a new backend
+makes its mode valid here, on the CLI, and on the service wire form,
+with no list to keep in sync.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Tuple
 
 import numpy as np
 
-from .algorithms.common import SystemMode
+from .backends import available_modes
+from .backends.modes import SystemMode
 from .core.api import ScuSystem
 from .errors import ExperimentError, ProtocolError
 from .phases import RunReport
@@ -70,7 +77,7 @@ class RunRequest:
             try:
                 mode = SystemMode(mode)
             except ValueError:
-                known = ", ".join(m.value for m in SystemMode)
+                known = ", ".join(available_modes())
                 raise ExperimentError(
                     f"unknown system mode {mode!r}; known modes: {known}"
                 ) from None
@@ -159,7 +166,7 @@ class RunRequest:
         try:
             mode = SystemMode(payload["mode"])
         except ValueError:
-            known = ", ".join(m.value for m in SystemMode)
+            known = ", ".join(available_modes())
             raise ProtocolError(
                 f"unknown mode {payload['mode']!r}; known modes: {known}"
             ) from None
@@ -211,10 +218,15 @@ class RunRequest:
 class RunOutcome:
     """What one ``run_algorithm`` call produced.
 
-    Iterates as ``(result, report, system)`` — the exact order of the
-    anonymous tuple it replaced — so legacy unpacking call sites
-    (``dist, report, system = run_algorithm(...)``) work unchanged while
-    new code reads the named fields.
+    Read the named fields: ``.result`` (the algorithm's output array),
+    ``.report`` (the :class:`~repro.phases.RunReport`), ``.system`` (the
+    simulated :class:`~repro.core.api.ScuSystem`).
+
+    .. deprecated::
+        Iterating / unpacking as the legacy ``(result, report, system)``
+        tuple still yields the exact order of the anonymous tuple this
+        class replaced, but emits a :class:`DeprecationWarning` and will
+        be removed in a future release.
     """
 
     result: np.ndarray
@@ -222,4 +234,11 @@ class RunOutcome:
     system: ScuSystem
 
     def __iter__(self) -> Iterator[Any]:
+        warnings.warn(
+            "unpacking RunOutcome as a (result, report, system) tuple is "
+            "deprecated and will be removed; read the .result / .report / "
+            ".system attributes instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return iter((self.result, self.report, self.system))

@@ -26,24 +26,26 @@ class TestCorrectness:
     @pytest.mark.parametrize("mode", list(SystemMode))
     def test_matches_reference(self, graph_name, mode):
         graph = GRAPHS[graph_name]
-        dist, _, _ = run_algorithm("bfs", graph, "TX1", mode, source=0)
+        dist = run_algorithm("bfs", graph, "TX1", mode, source=0).result
         assert np.array_equal(dist, bfs_reference(graph, 0))
 
     @pytest.mark.parametrize("mode", list(SystemMode))
     def test_matches_reference_on_gtx980(self, mode):
         graph = GRAPHS["kron"]
-        dist, _, _ = run_algorithm("bfs", graph, "GTX980", mode, source=3)
+        dist = run_algorithm("bfs", graph, "GTX980", mode, source=3).result
         assert np.array_equal(dist, bfs_reference(graph, 3))
 
     def test_disconnected_nodes_unreached(self):
         graph = build_csr(4, np.array([0]), np.array([1]))
-        dist, _, _ = run_algorithm("bfs", graph, "TX1", SystemMode.GPU, source=0)
+        dist = run_algorithm("bfs", graph, "TX1", SystemMode.GPU, source=0).result
         assert dist[0] == 0 and dist[1] == 1
         assert dist[2] == -1 and dist[3] == -1
 
     def test_single_node_source(self):
         graph = build_csr(1, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
-        dist, report, _ = run_algorithm("bfs", graph, "TX1", SystemMode.GPU, source=0)
+        outcome = run_algorithm("bfs", graph, "TX1", SystemMode.GPU, source=0)
+        dist = outcome.result
+        report = outcome.report
         assert dist[0] == 0
         assert report.time_s() >= 0
 
@@ -58,13 +60,13 @@ class TestCorrectness:
             symmetrize=False,
             deduplicate=False,
         )
-        dist, _, _ = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED, source=0)
+        dist = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED, source=0).result
         assert list(dist) == [0, 1, 1, 1, 2, 2, 2]
 
 
 class TestReports:
     def make_report(self, mode, gpu="TX1"):
-        _, report, _ = run_algorithm("bfs", GRAPHS["kron"], gpu, mode, source=0)
+        report = run_algorithm("bfs", GRAPHS["kron"], gpu, mode, source=0).report
         return report
 
     def test_gpu_mode_has_no_scu_phases(self):
@@ -113,6 +115,6 @@ class TestReports:
 
 class TestErrors:
     def test_scu_mode_requires_scu(self):
-        system = build_system("TX1", with_scu=False)
+        system = build_system("TX1", mode="gpu")
         with pytest.raises(SimulationError, match="requires a system with an SCU"):
             run_bfs(GRAPHS["road"], system, SystemMode.SCU_BASIC)

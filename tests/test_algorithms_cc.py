@@ -114,43 +114,45 @@ class TestSimulatedCC:
     @pytest.mark.parametrize("mode", list(SystemMode))
     def test_matches_reference(self, graph_name, mode):
         graph = GRAPHS[graph_name]
-        labels, _, _ = run_algorithm("connected_components", graph, "TX1", mode)
+        labels = run_algorithm("connected_components", graph, "TX1", mode).result
         assert np.array_equal(labels, connected_components_reference(graph))
 
     def test_gtx980(self):
         graph = GRAPHS["kron"]
-        labels, _, _ = run_algorithm(
+        labels = run_algorithm(
             "connected_components", graph, "GTX980", SystemMode.SCU_ENHANCED
-        )
+        ).result
         assert np.array_equal(labels, connected_components_reference(graph))
 
     def test_scu_modes_emit_scu_phases(self):
-        _, report, _ = run_algorithm(
+        report = run_algorithm(
             "connected_components", GRAPHS["collab"], "TX1", SystemMode.SCU_BASIC
-        )
+        ).report
         assert report.select(engine=Engine.SCU)
 
     def test_enhanced_filtering_reduces_gpu_work(self):
         graph = GRAPHS["kron"]
-        _, base, _ = run_algorithm("connected_components", graph, "TX1", SystemMode.GPU)
-        _, enh, _ = run_algorithm(
+        base = run_algorithm("connected_components", graph, "TX1", SystemMode.GPU).report
+        enh = run_algorithm(
             "connected_components", graph, "TX1", SystemMode.SCU_ENHANCED
-        )
+        ).report
         assert enh.instructions(engine=Engine.GPU) < base.instructions(engine=Engine.GPU)
 
     def test_offload_speeds_up_traversal(self):
         graph = GRAPHS["collab"]
-        _, base, _ = run_algorithm("connected_components", graph, "TX1", SystemMode.GPU)
-        _, enh, _ = run_algorithm(
+        base = run_algorithm("connected_components", graph, "TX1", SystemMode.GPU).report
+        enh = run_algorithm(
             "connected_components", graph, "TX1", SystemMode.SCU_ENHANCED
-        )
+        ).report
         assert enh.time_s() < base.time_s()
 
     def test_empty_frontier_terminates_immediately(self):
         graph = build_csr(
             3, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
         )
-        labels, report, _ = run_algorithm(
+        outcome = run_algorithm(
             "connected_components", graph, "TX1", SystemMode.GPU
         )
+        labels = outcome.result
+        report = outcome.report
         assert list(labels) == [0, 1, 2]

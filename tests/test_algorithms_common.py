@@ -112,8 +112,8 @@ class TestRunner:
 
     def test_memory_scale_affects_costs(self):
         graph = generate_kron(scale=12, edge_factor=8, seed=2)
-        _, scaled, _ = run_algorithm("bfs", graph, "TX1", SystemMode.GPU, memory_scale=64)
-        _, unscaled, _ = run_algorithm("bfs", graph, "TX1", SystemMode.GPU, memory_scale=1)
+        scaled = run_algorithm("bfs", graph, "TX1", SystemMode.GPU, memory_scale=64).report
+        unscaled = run_algorithm("bfs", graph, "TX1", SystemMode.GPU, memory_scale=1).report
         # A smaller effective L2 pushes the divergent lookups to DRAM.
         assert scaled.memory().dram_accesses > unscaled.memory().dram_accesses
         assert scaled.time_s() >= unscaled.time_s()

@@ -20,15 +20,15 @@ class TestCorrectness:
     @pytest.mark.parametrize("mode", [SystemMode.GPU, SystemMode.SCU_BASIC])
     def test_matches_reference(self, graph_name, mode):
         graph = GRAPHS[graph_name]
-        ranks, _, _ = run_algorithm("pagerank", graph, "TX1", mode, epsilon=1e-6)
+        ranks = run_algorithm("pagerank", graph, "TX1", mode, epsilon=1e-6).result
         expected = pagerank_reference(graph, epsilon=1e-7)
         assert np.allclose(ranks, expected, rtol=1e-2, atol=1e-3)
 
     def test_enhanced_equals_basic(self):
         """Section 4.6: PR does not use enhanced capabilities."""
         graph = GRAPHS["kron"]
-        basic, _, _ = run_algorithm("pagerank", graph, "TX1", SystemMode.SCU_BASIC)
-        enhanced, _, _ = run_algorithm("pagerank", graph, "TX1", SystemMode.SCU_ENHANCED)
+        basic = run_algorithm("pagerank", graph, "TX1", SystemMode.SCU_BASIC).result
+        enhanced = run_algorithm("pagerank", graph, "TX1", SystemMode.SCU_ENHANCED).result
         assert np.allclose(basic, enhanced)
 
     def test_hub_outranks_leaf(self):
@@ -37,14 +37,14 @@ class TestCorrectness:
         src = np.arange(1, n)
         dst = np.zeros(n - 1, dtype=np.int64)
         graph = build_csr(n, src, dst)
-        ranks, _, _ = run_algorithm("pagerank", graph, "TX1", SystemMode.GPU)
+        ranks = run_algorithm("pagerank", graph, "TX1", SystemMode.GPU).result
         assert ranks[0] > ranks[1]
 
     def test_dangling_nodes_keep_base_score(self):
         graph = build_csr(3, np.array([0]), np.array([1]))
-        ranks, _, _ = run_algorithm(
+        ranks = run_algorithm(
             "pagerank", graph, "TX1", SystemMode.GPU, alpha=0.15
-        )
+        ).result
         assert ranks[2] == pytest.approx(0.15)
 
     def test_invalid_alpha_rejected(self):
@@ -65,20 +65,20 @@ class TestCorrectness:
 
 class TestReports:
     def test_expansion_is_the_compaction_phase(self):
-        _, report, _ = run_algorithm("pagerank", GRAPHS["kron"], "TX1", SystemMode.GPU)
+        report = run_algorithm("pagerank", GRAPHS["kron"], "TX1", SystemMode.GPU).report
         compaction = report.select(kind=PhaseKind.COMPACTION)
         assert compaction
         assert all("expand" in p.name for p in compaction)
 
     def test_rank_update_has_atomics_per_edge(self):
         graph = GRAPHS["kron"]
-        _, report, _ = run_algorithm("pagerank", graph, "TX1", SystemMode.GPU)
+        report = run_algorithm("pagerank", graph, "TX1", SystemMode.GPU).report
         updates = [p for p in report if p.name == "pr.rank_update"]
         assert updates
         assert all(p.elements == graph.num_edges for p in updates)
 
     def test_offload_moves_compaction_to_scu(self):
-        _, report, _ = run_algorithm("pagerank", GRAPHS["kron"], "TX1", SystemMode.SCU_BASIC)
+        report = run_algorithm("pagerank", GRAPHS["kron"], "TX1", SystemMode.SCU_BASIC).report
         scu_phases = report.select(engine=Engine.SCU)
         assert scu_phases
         gpu_compaction = [
@@ -87,5 +87,5 @@ class TestReports:
         assert not gpu_compaction
 
     def test_compaction_fraction_in_figure1_band(self):
-        _, report, _ = run_algorithm("pagerank", GRAPHS["kron"], "TX1", SystemMode.GPU)
+        report = run_algorithm("pagerank", GRAPHS["kron"], "TX1", SystemMode.GPU).report
         assert 0.1 < report.compaction_time_fraction() < 0.6

@@ -31,13 +31,13 @@ class TestCorrectness:
     @pytest.mark.parametrize("mode", list(SystemMode))
     def test_matches_dijkstra(self, graph_name, mode):
         graph = GRAPHS[graph_name]
-        dist, _, _ = run_algorithm("sssp", graph, "TX1", mode, source=0)
+        dist = run_algorithm("sssp", graph, "TX1", mode, source=0).result
         assert_distances_match(dist, sssp_reference(graph, 0))
 
     @pytest.mark.parametrize("mode", list(SystemMode))
     def test_matches_dijkstra_on_gtx980(self, mode):
         graph = GRAPHS["kron"]
-        dist, _, _ = run_algorithm("sssp", graph, "GTX980", mode, source=5)
+        dist = run_algorithm("sssp", graph, "GTX980", mode, source=5).result
         assert_distances_match(dist, sssp_reference(graph, 5))
 
     def test_paper_figure2_distances(self):
@@ -52,21 +52,21 @@ class TestCorrectness:
             weights,
             deduplicate=False,
         )
-        dist, _, _ = run_algorithm("sssp", graph, "TX1", SystemMode.SCU_ENHANCED, source=0)
+        dist = run_algorithm("sssp", graph, "TX1", SystemMode.SCU_ENHANCED, source=0).result
         assert list(dist) == [0.0, 2.0, 2.0, 1.0, 3.0, 3.0, 3.0]
 
     def test_delta_parameter_does_not_change_result(self):
         graph = GRAPHS["road"]
         expected = sssp_reference(graph, 0)
         for delta in (1.0, 3.0, 20.0):
-            dist, _, _ = run_algorithm(
+            dist = run_algorithm(
                 "sssp", graph, "TX1", SystemMode.SCU_ENHANCED, source=0, delta=delta
-            )
+            ).result
             assert_distances_match(dist, expected)
 
     def test_unreachable_nodes_are_inf(self):
         graph = build_csr(3, np.array([0]), np.array([1]), np.array([4.0]))
-        dist, _, _ = run_algorithm("sssp", graph, "TX1", SystemMode.GPU, source=0)
+        dist = run_algorithm("sssp", graph, "TX1", SystemMode.GPU, source=0).result
         assert dist[2] == np.inf
 
 
@@ -87,23 +87,23 @@ class TestDedupBest:
 
 class TestReports:
     def test_atomics_counted(self):
-        _, report, _ = run_algorithm("sssp", GRAPHS["kron"], "TX1", SystemMode.GPU)
+        report = run_algorithm("sssp", GRAPHS["kron"], "TX1", SystemMode.GPU).report
         # atomicMin relaxations show up in the process kernels.
         process_phases = [p for p in report if "contract.process" in p.name]
         assert process_phases
 
     def test_enhanced_reduces_gpu_instructions(self):
-        _, base, _ = run_algorithm("sssp", GRAPHS["kron"], "TX1", SystemMode.GPU)
-        _, enh, _ = run_algorithm("sssp", GRAPHS["kron"], "TX1", SystemMode.SCU_ENHANCED)
+        base = run_algorithm("sssp", GRAPHS["kron"], "TX1", SystemMode.GPU).report
+        enh = run_algorithm("sssp", GRAPHS["kron"], "TX1", SystemMode.SCU_ENHANCED).report
         assert enh.instructions(engine=Engine.GPU) < base.instructions(engine=Engine.GPU)
 
     def test_enhanced_beats_baseline_time(self):
-        _, base, _ = run_algorithm("sssp", GRAPHS["kron"], "TX1", SystemMode.GPU)
-        _, enh, _ = run_algorithm("sssp", GRAPHS["kron"], "TX1", SystemMode.SCU_ENHANCED)
+        base = run_algorithm("sssp", GRAPHS["kron"], "TX1", SystemMode.GPU).report
+        enh = run_algorithm("sssp", GRAPHS["kron"], "TX1", SystemMode.SCU_ENHANCED).report
         assert enh.time_s() < base.time_s()
 
     def test_far_pile_phases_present_on_road_network(self):
         # Road networks drain many thresholds, exercising far-pile reuse.
-        _, report, _ = run_algorithm("sssp", GRAPHS["road"], "TX1", SystemMode.SCU_ENHANCED)
+        report = run_algorithm("sssp", GRAPHS["road"], "TX1", SystemMode.SCU_ENHANCED).report
         far_filters = [p for p in report if "far" in p.name]
         assert far_filters

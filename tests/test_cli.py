@@ -79,9 +79,10 @@ class TestBenchCommand:
         doc = json.loads(out_path.read_text())
         assert doc["schema_version"] == 1
         assert doc["tag"] == "t"
-        # --datasets overrides --quick's subset; 3 algorithms x 3 modes
+        # --datasets overrides --quick's subset; 3 algorithms x the full
+        # registered mode list (repro.backends.available_modes)
         assert doc["grid"]["datasets"] == ["delaunay"]
-        assert len(doc["records"]) == 9
+        assert len(doc["records"]) == 12
         record = doc["records"][0]
         assert record["wall"]["reps"] == 1
         assert record["sim"]["sim_time_s"] > 0

@@ -23,7 +23,7 @@ class TestBuildSystem:
         assert system.require_scu() is system.scu
 
     def test_without_scu(self):
-        baseline = build_system("GTX980", with_scu=False)
+        baseline = build_system("GTX980", mode="gpu")
         assert not baseline.has_scu
         with pytest.raises(ConfigError):
             baseline.require_scu()

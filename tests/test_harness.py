@@ -79,6 +79,7 @@ class TestRegistry:
         expected = {
             "fig1", "fig9", "fig10", "fig11", "fig12", "fig13",
             "table1", "table2", "table3/4", "table5", "headline",
+            "iru",
         }
         assert set(EXPERIMENTS) == expected
 

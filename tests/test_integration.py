@@ -15,6 +15,11 @@ from repro.phases import Engine, PhaseKind
 pytestmark = pytest.mark.integration
 
 
+#: The SCU variants (the paper's Figures 9-11 compare these to the GPU
+#: baseline; the IRU backend has its own shape tests below).
+SCU_MODES = (SystemMode.SCU_BASIC, SystemMode.SCU_ENHANCED)
+
+
 @pytest.fixture(scope="module")
 def reports():
     """BFS/SSSP/PR on human (duplicate-heavy) for both GPUs, all modes."""
@@ -25,8 +30,8 @@ def reports():
             for mode in SystemMode:
                 if algorithm == "pagerank" and mode is SystemMode.SCU_ENHANCED:
                     continue
-                _, report, _ = run_algorithm(algorithm, graph, gpu, mode)
-                out[(gpu, algorithm, mode)] = report
+                outcome = run_algorithm(algorithm, graph, gpu, mode)
+                out[(gpu, algorithm, mode)] = outcome.report
     return out
 
 
@@ -51,7 +56,7 @@ class TestPaperShapes:
     def test_energy_savings_everywhere(self, reports):
         """Figure 9's claim (including PR)."""
         for (gpu, algorithm, mode), report in reports.items():
-            if mode is SystemMode.GPU:
+            if mode not in SCU_MODES:
                 continue
             base = reports[(gpu, algorithm, SystemMode.GPU)]
             assert report.total_energy_j() < base.total_energy_j(), (gpu, algorithm, mode)
@@ -78,7 +83,7 @@ class TestPaperShapes:
     def test_scu_modes_offload_all_compaction(self, reports):
         """Algorithms 1-3: no GPU compaction kernels remain."""
         for (gpu, algorithm, mode), report in reports.items():
-            if mode is SystemMode.GPU:
+            if mode not in SCU_MODES:
                 continue
             gpu_compaction = report.select(engine=Engine.GPU, kind=PhaseKind.COMPACTION)
             assert not gpu_compaction, (gpu, algorithm, mode)
@@ -98,7 +103,55 @@ class TestPaperShapes:
 
     def test_results_are_deterministic(self):
         graph = load_dataset("human")
-        _, a, _ = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED)
-        _, b, _ = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED)
+        a = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED).report
+        b = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED).report
         assert a.time_s() == b.time_s()
         assert a.total_energy_j() == b.total_energy_j()
+
+
+class TestIruShapes:
+    """Shape claims of the follow-on IRU backend (arXiv 2007.07131)."""
+
+    def test_iru_speeds_up_divergent_traversals(self, reports):
+        """Reordering helps exactly where coalescing is poor."""
+        for gpu in ("GTX980", "TX1"):
+            for algorithm in ("bfs", "sssp"):
+                base = reports[(gpu, algorithm, SystemMode.GPU)].time_s()
+                iru = reports[(gpu, algorithm, SystemMode.IRU)].time_s()
+                assert base / iru > 1.1, (gpu, algorithm, base / iru)
+
+    def test_iru_saves_energy_on_divergent_traversals(self, reports):
+        for gpu in ("GTX980", "TX1"):
+            for algorithm in ("bfs", "sssp"):
+                base = reports[(gpu, algorithm, SystemMode.GPU)]
+                iru = reports[(gpu, algorithm, SystemMode.IRU)]
+                assert iru.total_energy_j() < base.total_energy_j(), (gpu, algorithm)
+
+    def test_iru_is_transparent_to_pagerank(self, reports):
+        """PR's regular/atomic streams bypass the unit: near-zero effect."""
+        for gpu in ("GTX980", "TX1"):
+            base = reports[(gpu, "pagerank", SystemMode.GPU)]
+            iru = reports[(gpu, "pagerank", SystemMode.IRU)]
+            assert iru.time_s() == pytest.approx(base.time_s(), rel=1e-3)
+            assert iru.total_energy_j() == pytest.approx(
+                base.total_energy_j(), rel=5e-3
+            )
+
+    def test_iru_keeps_compaction_on_the_sms(self, reports):
+        """Unlike the SCU, the IRU does not offload phase structure."""
+        for gpu in ("GTX980", "TX1"):
+            iru = reports[(gpu, "bfs", SystemMode.IRU)]
+            base = reports[(gpu, "bfs", SystemMode.GPU)]
+            iru_compaction = iru.select(engine=Engine.GPU, kind=PhaseKind.COMPACTION)
+            base_compaction = base.select(engine=Engine.GPU, kind=PhaseKind.COMPACTION)
+            assert len(iru_compaction) == len(base_compaction) > 0
+            assert iru.system == "iru" and base.system == "gpu"
+
+    def test_scu_beats_iru_on_traversals(self, reports):
+        """Head-to-head: offload (SCU) wins over in-place reorder (IRU),
+        which is the SCU paper's pitch — at a much larger area cost."""
+        for gpu in ("GTX980", "TX1"):
+            for algorithm in ("bfs", "sssp"):
+                iru = reports[(gpu, algorithm, SystemMode.IRU)].time_s()
+                scu = reports[(gpu, algorithm, SystemMode.SCU_ENHANCED)].time_s()
+                assert scu < iru, (gpu, algorithm)

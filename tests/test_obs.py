@@ -249,9 +249,9 @@ class TestProfiles:
 
     def test_sim_profile_attribution_sums_to_total(self):
         graph = load_dataset("human", seed=42)
-        _, report, _ = run_algorithm(
+        report = run_algorithm(
             "bfs", graph, "TX1", SystemMode.SCU_ENHANCED
-        )
+        ).report
         rows = sim_profile(report)
         assert sum(r["time_s"] for r in rows) == pytest.approx(report.time_s())
         assert sum(r["count"] for r in rows) == len(report.phases)
@@ -265,13 +265,17 @@ class TestDeterminism:
     def test_observed_run_is_bit_identical(self, algorithm):
         graph = load_dataset("human", seed=42)
         kwargs = {} if algorithm == "pagerank" else {"source": 0}
-        plain, plain_report, _ = run_algorithm(
+        outcome = run_algorithm(
             algorithm, graph, "TX1", SystemMode.SCU_ENHANCED, **kwargs
         )
+        plain = outcome.result
+        plain_report = outcome.report
         obs = make_observability()
-        traced, traced_report, _ = run_algorithm(
+        outcome = run_algorithm(
             algorithm, graph, "TX1", SystemMode.SCU_ENHANCED, obs=obs, **kwargs
         )
+        traced = outcome.result
+        traced_report = outcome.report
         # observation actually happened...
         assert obs.tracer.events and obs.metrics.names()
         # ...and changed nothing
@@ -453,9 +457,9 @@ class TestCompactionFractionNan:
     def test_injection_through_build_system(self):
         obs = Observability()
         graph = load_dataset("human", seed=42)
-        _, _, system = run_algorithm(
+        system = run_algorithm(
             "bfs", graph, "TX1", SystemMode.SCU_ENHANCED, obs=obs
-        )
+        ).system
         # every layer shares the injected bundle
         assert system.obs is obs
         assert system.gpu.obs is obs

@@ -150,11 +150,11 @@ class TestWireFormat:
 
 
 class TestRunOutcome:
-    def test_tuple_unpacking_still_works(self):
+    def test_tuple_unpacking_still_works_but_warns(self):
         graph = load_dataset("human")
-        result, report, system = run_algorithm(
-            "bfs", graph, "TX1", SystemMode.GPU, source=0
-        )
+        outcome = run_algorithm("bfs", graph, "TX1", SystemMode.GPU, source=0)
+        with pytest.warns(DeprecationWarning, match="RunOutcome"):
+            result, report, system = outcome
         assert report.algorithm == "bfs"
         assert system.config.name == "TX1"
         assert result.shape == (graph.num_nodes,)
@@ -162,7 +162,9 @@ class TestRunOutcome:
     def test_attribute_access(self):
         outcome = execute_request(RunRequest.make("bfs", "human", "TX1", SystemMode.GPU))
         assert isinstance(outcome, RunOutcome)
-        assert outcome.report is tuple(outcome)[1]
+        with pytest.warns(DeprecationWarning):
+            as_tuple = tuple(outcome)
+        assert outcome.report is as_tuple[1]
         assert outcome.system.has_scu is False
 
     def test_execute_request_matches_run_algorithm(self):
@@ -181,12 +183,12 @@ class TestMemoryScaleConstruction:
     """build_system no longer mutates the hierarchy post-construction."""
 
     def test_scaled_capacity_set_at_construction(self):
-        plain = build_system("TX1", with_scu=False)
-        scaled = build_system("TX1", with_scu=False, memory_scale=16.0)
+        plain = build_system("TX1", mode="gpu")
+        scaled = build_system("TX1", mode="gpu", memory_scale=16.0)
         expected = int(plain.gpu.config.l2_bytes / 16.0)
         assert scaled.gpu.hierarchy.l2_capacity_bytes == expected
         assert scaled.gpu.memory_scale == 16.0
 
     def test_unscaled_is_exact_hardware_size(self):
-        system = build_system("GTX980", with_scu=False)
+        system = build_system("GTX980", mode="gpu")
         assert system.gpu.hierarchy.l2_capacity_bytes == system.gpu.config.l2_bytes

@@ -12,14 +12,14 @@ class TestSeedRobustness:
     def test_bfs_enhanced_always_wins_on_kron(self, seed):
         """The headline claim holds on independently drawn Kronecker graphs."""
         graph = generate_kron(scale=11, edge_factor=12, seed=seed)
-        _, base, _ = run_algorithm("bfs", graph, "TX1", SystemMode.GPU)
-        _, enh, _ = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED)
+        base = run_algorithm("bfs", graph, "TX1", SystemMode.GPU).report
+        enh = run_algorithm("bfs", graph, "TX1", SystemMode.SCU_ENHANCED).report
         assert base.time_s() / enh.time_s() > 1.2
         assert base.total_energy_j() / enh.total_energy_j() > 1.2
 
     def test_correctness_across_seeds(self, seed):
         graph = generate_kron(scale=9, edge_factor=8, seed=seed)
         for mode in SystemMode:
-            dist, _, _ = run_algorithm("bfs", graph, "TX1", mode)
+            dist = run_algorithm("bfs", graph, "TX1", mode).result
             expected = bfs_reference(graph, int(np.argmax(graph.out_degrees)))
             assert np.array_equal(dist, expected)
