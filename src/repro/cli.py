@@ -361,6 +361,7 @@ def _cmd_bench(args) -> int:
         jobs=args.jobs,
         cell_timeout_s=args.cell_timeout,
         retries=args.retries,
+        batch_datasets=args.batch_datasets,
     )
     if artifact.scoreboard is not None:
         print()
@@ -394,6 +395,13 @@ def _cmd_bench(args) -> int:
 def _cmd_serve(args) -> int:
     from .serve import ServiceConfig, run_service
 
+    if args.isolate and args.batch_window_ms > 0:
+        print(
+            "error: --batch-window-ms is incompatible with --isolate "
+            "(a micro-batch runs in-process)",
+            file=sys.stderr,
+        )
+        return 1
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -409,6 +417,8 @@ def _cmd_serve(args) -> int:
         trace_capacity=args.trace_capacity,
         store_dir=args.store_dir,
         store_max_bytes=args.store_max_mb * 1024 * 1024,
+        batch_window_ms=args.batch_window_ms,
+        batch_max=args.batch_max,
     )
     return run_service(config)
 
@@ -454,12 +464,15 @@ def _cmd_loadtest(args) -> int:
         rate=args.rate,
         keys=args.keys,
         zipf_s=args.zipf,
+        burst_datasets=args.burst_datasets,
         seed=args.seed,
         workers=args.workers,
         queue_depth=args.queue_depth,
         request_timeout_s=args.request_timeout,
         cluster_workers=args.cluster,
         store_dir=args.store_dir,
+        batch_window_ms=args.batch_window_ms,
+        batch_max=args.batch_max,
     )
     tag = args.tag or short_git_sha()
     progress = None if args.no_progress else (lambda line: print(line))
@@ -735,6 +748,12 @@ def build_parser() -> argparse.ArgumentParser:
         "the in-process fallback (default 1)",
     )
     bench_parser.add_argument(
+        "--batch-datasets", action="store_true",
+        help="group grid cells sharing a dataset into one sweep task so "
+        "each worker generates the graph once per dataset; simulated "
+        "metrics and the scoreboard stay byte-identical",
+    )
+    bench_parser.add_argument(
         "--no-scoreboard", action="store_true",
         help="skip the paper-fidelity scoreboard sweep",
     )
@@ -810,6 +829,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-max-mb", type=int, default=256, metavar="MB",
         help="L2 store size bound; least-recently-used entries are "
         "evicted beyond it (default 256)",
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms", type=float, default=0.0, metavar="MS",
+        help="micro-batching admission window: a cache-miss leader "
+        "waits up to MS for compatible (same dataset x GPU) queued "
+        "requests and simulates them in one fused batched pass "
+        "(default 0: disabled; incompatible with --isolate)",
+    )
+    serve_parser.add_argument(
+        "--batch-max", type=int, default=8, metavar="N",
+        help="micro-batch size cap; a window seals early once N "
+        "requests have joined (default 8)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 
@@ -891,6 +922,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="zipf popularity exponent; 0 = uniform (default 1.1)",
     )
     loadtest_parser.add_argument(
+        "--burst-datasets", type=int, default=0, metavar="LEN",
+        help="emit the schedule in same-dataset bursts of LEN requests "
+        "(a zipf-drawn leader followed by LEN-1 keys from its dataset) "
+        "so the serve micro-batching window sees compatible neighbours "
+        "(default 0: plain zipf)",
+    )
+    loadtest_parser.add_argument(
         "--seed", type=int, default=42,
         help="schedule seed; same seed = same request sequence (default 42)",
     )
@@ -922,6 +960,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="L2 result-store directory of the in-process "
         "server/cluster; a warm directory makes the run cold-start "
         "from disk (ignored with --url)",
+    )
+    loadtest_parser.add_argument(
+        "--batch-window-ms", type=float, default=0.0, metavar="MS",
+        help="micro-batching window of the in-process server/cluster "
+        "workers (ignored with --url; default 0: disabled)",
+    )
+    loadtest_parser.add_argument(
+        "--batch-max", type=int, default=8, metavar="N",
+        help="micro-batch size cap of the in-process server/cluster "
+        "workers (ignored with --url; default 8)",
     )
     loadtest_parser.add_argument(
         "--tag", default=None,

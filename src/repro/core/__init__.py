@@ -1,6 +1,15 @@
 """The paper's contribution: the Stream Compaction Unit."""
 
 from .api import PAPER_SCALE, ScuSystem, build_system
+from .batch import (
+    batch_offsets,
+    concat_batch,
+    data_compaction_batch,
+    filter_best_cost_batch,
+    filter_unique_batch,
+    group_order_batch,
+    split_batch,
+)
 from .area import (
     area_breakdown,
     power_breakdown_w,
@@ -40,7 +49,9 @@ from .ops import (
     access_compaction,
     access_expansion_compaction,
     bitmask_constructor,
+    compaction_addresses,
     data_compaction,
+    exclusive_scan,
     expanded_indices,
     replication_compaction,
 )
@@ -87,9 +98,18 @@ __all__ = [
     "enhanced_bfs_contraction_program",
     "COMPARISONS",
     "bitmask_constructor",
+    "exclusive_scan",
+    "compaction_addresses",
     "data_compaction",
     "access_compaction",
     "replication_compaction",
     "access_expansion_compaction",
     "expanded_indices",
+    "batch_offsets",
+    "concat_batch",
+    "split_batch",
+    "data_compaction_batch",
+    "filter_unique_batch",
+    "filter_best_cost_batch",
+    "group_order_batch",
 ]

@@ -54,11 +54,47 @@ def bitmask_constructor(data: np.ndarray, comparison: str, reference: float) -> 
     return COMPARISONS[comparison](arr, reference)
 
 
+def exclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum: ``out[i] = sum(values[:i])``, ``out[0] = 0``.
+
+    The scatter-address generator of every compaction below.  Integer
+    inputs scan in int64 so addresses never overflow or round.
+    """
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise OperationError(f"values must be one-dimensional, got shape {arr.shape}")
+    out = np.zeros(arr.size, dtype=np.int64)
+    np.cumsum(arr[:-1], out=out[1:])
+    return out
+
+
+def compaction_addresses(bitmask: np.ndarray) -> np.ndarray:
+    """Output address of each *kept* element: the exclusive scan of the mask.
+
+    ``addresses[i]`` is only meaningful where ``bitmask[i]`` is set; the
+    scatter ``out[addresses[mask]] = data[mask]`` is order-preserving
+    because the scan is monotone over kept positions.
+    """
+    mask = _as_1d(bitmask, "bitmask")
+    if mask.dtype != np.bool_:
+        raise OperationError(f"bitmask must be boolean, got dtype {mask.dtype}")
+    return exclusive_scan(mask.astype(np.int64))
+
+
 def data_compaction(data: np.ndarray, bitmask: np.ndarray) -> np.ndarray:
-    """Keep the elements whose bitmask bit is set, preserving order."""
+    """Keep the elements whose bitmask bit is set, preserving order.
+
+    Implemented in the hardware's explicit exclusive-scan + scatter form
+    (Figure 6): the scan of the bitmask yields each kept element's output
+    address, then a single scatter writes the compacted stream.
+    """
     arr = _as_1d(data, "data")
     mask = _check_mask(bitmask, arr.size)
-    return arr[mask]
+    addresses = compaction_addresses(mask)
+    kept = int(np.count_nonzero(mask))
+    out = np.empty(kept, dtype=arr.dtype)
+    out[addresses[mask]] = arr[mask]
+    return out
 
 
 def access_compaction(
@@ -68,7 +104,8 @@ def access_compaction(
     arr = _as_1d(data, "data")
     idx = _as_1d(indexes, "indexes").astype(np.int64)
     mask = _check_mask(bitmask, idx.size)
-    valid = idx[mask]
+    # Scan + scatter over the index stream, then one gather through it.
+    valid = data_compaction(idx, mask)
     if valid.size and (valid.min() < 0 or valid.max() >= arr.size):
         raise OperationError("index out of range in access compaction")
     return arr[valid]
@@ -132,9 +169,8 @@ def expanded_indices(indexes: np.ndarray, count: np.ndarray) -> np.ndarray:
     total = int(cnt.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
-    # Standard ragged-range construction: cumulative offsets + per-slot base.
-    starts = np.zeros(cnt.size, dtype=np.int64)
-    np.cumsum(cnt[:-1], out=starts[1:])
+    # Standard ragged-range construction: exclusive-scan offsets + base.
+    starts = exclusive_scan(cnt)
     flat = np.arange(total, dtype=np.int64)
     slot = np.repeat(np.arange(cnt.size, dtype=np.int64), cnt)
     return idx[slot] + (flat - starts[slot])

@@ -58,6 +58,15 @@ from ..obs.spans import (
 from ..phases import RunReport
 from ..request import RunRequest
 from .admission import REJECTED_METRIC, ServiceQueue
+from .batching import (
+    BATCH_BATCHES_METRIC,
+    BATCH_FUSED_METRIC,
+    BATCH_REQUESTS_METRIC,
+    BATCH_SIZE_BUCKETS,
+    BATCH_SIZE_METRIC,
+    BatchMember,
+    MicroBatcher,
+)
 from .protocol import (
     MAX_BODY_BYTES,
     encode,
@@ -77,6 +86,7 @@ from .store import (
 from .telemetry import (
     COALESCE_WAIT_METRIC,
     OUTCOME_BAD_REQUEST,
+    OUTCOME_BATCHED,
     OUTCOME_CACHED,
     OUTCOME_COALESCED,
     OUTCOME_DRAINING,
@@ -133,6 +143,15 @@ class ServiceConfig:
     store_dir: Optional[str] = None
     #: Byte bound of the L2 store (LRU eviction by mtime beyond it).
     store_max_bytes: int = DEFAULT_STORE_MAX_BYTES
+    #: Micro-batching admission window (milliseconds).  0 (the default)
+    #: disables batching entirely — the request path is exactly the
+    #: pre-batching single-flight one.  Positive: the first leader for a
+    #: ``(dataset, seed, gpu)`` compatibility key waits this long for
+    #: compatible requests, then the whole batch runs as ONE queue task
+    #: through :func:`~repro.algorithms.runner.run_batch`.
+    batch_window_ms: float = 0.0
+    #: Seal a window early once this many requests joined.
+    batch_max: int = 8
 
 
 def _isolated_run(request: RunRequest) -> RunReport:
@@ -258,6 +277,28 @@ class SimulationService:
                 else None
             ),
         )
+        # Micro-batching window: off unless a positive window was
+        # configured, in which case the batch instruments exist from the
+        # first exposition on (pre-registered like everything else).
+        self._batcher: Optional[MicroBatcher] = None
+        if self.config.batch_window_ms > 0:
+            if self.config.run_isolated:
+                raise ServiceError(
+                    "micro-batching (batch_window_ms > 0) is incompatible "
+                    "with run_isolated: a batch runs in-process"
+                )
+            for name in (
+                BATCH_REQUESTS_METRIC,
+                BATCH_BATCHES_METRIC,
+                BATCH_FUSED_METRIC,
+            ):
+                self.registry.counter(name)
+            self.registry.histogram(BATCH_SIZE_METRIC, buckets=BATCH_SIZE_BUCKETS)
+            self._batcher = MicroBatcher(
+                window_s=self.config.batch_window_ms / 1000.0,
+                max_size=max(1, self.config.batch_max),
+                execute=self._execute_batch,
+            )
         self._draining = False
 
     # -- metrics (the registry's instruments are not thread-safe) -------
@@ -265,9 +306,17 @@ class SimulationService:
         with self._metrics_lock:
             self.registry.counter(name).inc(**labels)
 
+    def _count_n(self, name: str, n: int) -> None:
+        with self._metrics_lock:
+            self.registry.counter(name).inc(n)
+
     def _observe_latency(self, name: str, seconds: float) -> None:
         with self._metrics_lock:
             self.registry.histogram(name).observe(seconds)
+
+    def _observe_value(self, name: str, value: float) -> None:
+        with self._metrics_lock:
+            self.registry.histogram(name).observe(value)
 
     def _make_wait_observer(self, name: str):
         return lambda seconds: self._observe_latency(name, seconds)
@@ -452,9 +501,17 @@ class SimulationService:
                 ctx.outcome = OUTCOME_CACHED
         else:
             wait_started = time.perf_counter()
+            # With batching on, the single-flight *leader* enters the
+            # micro-batch window; followers of the same digest coalesce
+            # exactly as before, so the layers compose: identical
+            # requests share one seat, compatible ones share one batch.
+            if self._batcher is not None:
+                leader_body = lambda: self._run_batched(request, ctx)  # noqa: E731
+            else:
+                leader_body = lambda: self._run_queued(request, ctx)  # noqa: E731
             report = self._singleflight.do(
                 digest,
-                lambda: self._run_queued(request, ctx),
+                leader_body,
                 timeout_s=self.config.request_timeout_s,
             )
             if ctx is not None and ctx.outcome is None:
@@ -538,6 +595,153 @@ class SimulationService:
             if ctx is not None:
                 ctx.queue_wait_s = task.queue_wait_s
                 ctx.queue_entered = task.submitted_at
+
+    def _run_batched(
+        self, request: RunRequest, ctx: Optional[RequestContext]
+    ) -> RunReport:
+        """Single-flight leader body when micro-batching is enabled."""
+        self._count(BATCH_REQUESTS_METRIC)
+        wait_started = time.perf_counter()
+        member = self._batcher.submit(
+            request, ctx, timeout_s=self.config.request_timeout_s
+        )
+        if (
+            not member.leader
+            and self.spans is not None
+            and ctx is not None
+            and ctx.trace_id is not None
+        ):
+            # Mirror of the coalesce-wait link: this request rode in a
+            # batch another request led, so its trace records the wait
+            # with a cross-trace link to the leader's serve.batch span.
+            ctx.spans.append(
+                SpanRecord(
+                    trace_id=ctx.trace_id,
+                    span_id=new_span_id(),
+                    parent_id=ctx.span_id,
+                    name="serve.batch_wait",
+                    category="serve",
+                    process="serve",
+                    start_us=perf_to_epoch_us(wait_started),
+                    duration_us=(time.perf_counter() - wait_started) * 1e6,
+                    links=(
+                        [{"trace_id": member.link[0], "span_id": member.link[1]}]
+                        if member.link is not None
+                        else []
+                    ),
+                )
+            )
+        return member.report
+
+    def _execute_batch(
+        self, members: "list[BatchMember]", opened: float
+    ) -> None:
+        """Window-leader body: run one sealed batch as ONE queue task.
+
+        Every member's context gets the shared queue-wait attribution
+        and its outcome (``batched`` when >= 2 requests fused, plain
+        ``simulated`` for a batch of one); the leader's trace carries
+        the ``serve.batch`` span the other members link to.
+        """
+        size = len(members)
+        lctx = members[0].ctx
+        traced = (
+            self.spans is not None and lctx is not None and lctx.trace_id is not None
+        )
+        batch_span_id = new_span_id() if traced else None
+        outcome = OUTCOME_BATCHED if size > 1 else OUTCOME_SIMULATED
+        for member in members:
+            if member.ctx is not None:
+                member.ctx.outcome = outcome
+        task = self._queue.submit(
+            lambda: self._simulate_batch(members, batch_span_id)
+        )
+        try:
+            items = self._queue.wait(task, timeout_s=self.config.request_timeout_s)
+        finally:
+            for member in members:
+                if member.ctx is not None:
+                    member.ctx.queue_wait_s = task.queue_wait_s
+                    member.ctx.queue_entered = task.submitted_at
+        for member, item in zip(members, items):
+            member.report = item.report
+        self._count(BATCH_BATCHES_METRIC)
+        if size > 1:
+            self._count_n(BATCH_FUSED_METRIC, size)
+        self._observe_value(BATCH_SIZE_METRIC, float(size))
+        if traced:
+            simulated = sum(1 for item in items if item.simulated)
+            lctx.spans.append(
+                SpanRecord(
+                    trace_id=lctx.trace_id,
+                    span_id=batch_span_id,
+                    parent_id=lctx.span_id,
+                    name="serve.batch",
+                    category="serve",
+                    process="serve",
+                    start_us=perf_to_epoch_us(opened),
+                    duration_us=(time.perf_counter() - opened) * 1e6,
+                    attributes={
+                        "batch_size": size,
+                        "simulated": simulated,
+                        "window_ms": self.config.batch_window_ms,
+                    },
+                )
+            )
+            link = (lctx.trace_id, batch_span_id)
+            for member in members:
+                member.link = link
+
+    def _simulate_batch(
+        self, members: "list[BatchMember]", batch_span_id: Optional[str]
+    ):
+        """Worker-side execution of one sealed batch (fused runner pass)."""
+        from ..algorithms.runner import run_batch
+
+        lctx = members[0].ctx
+        traced = (
+            self.spans is not None and lctx is not None and lctx.trace_id is not None
+        )
+        requests = [member.request for member in members]
+        started = time.perf_counter()
+        if traced:
+            from ..obs import make_observability
+
+            obs = make_observability()
+            items = run_batch(requests, obs=obs)
+            child_spans = spans_from_tracer(
+                obs.tracer,
+                trace_id=lctx.trace_id,
+                parent_id=batch_span_id,
+                base_us=perf_to_epoch_us(started),
+                process="serve",
+            )
+        else:
+            items = run_batch(requests)
+            child_spans = []
+        simulate_s = time.perf_counter() - started
+        # serve_simulations still means "requests actually simulated":
+        # cache hits and in-batch duplicates ride along uncounted, so
+        # handled = simulated + coalesced + cached keeps adding up.
+        simulated = sum(1 for item in items if item.simulated)
+        if simulated:
+            self._count_n(SIMULATIONS_METRIC, simulated)
+        for member in members:
+            if member.ctx is not None:
+                member.ctx.simulate_s = simulate_s
+                member.ctx.simulate_started = started
+        if traced:
+            lctx.sim_span_id = batch_span_id
+            lctx.spans.extend(child_spans)
+            # Coalesced followers of ANY member's digest link here.
+            for member in members:
+                self._leader_spans.put(
+                    member.request.cache_digest(),
+                    (lctx.trace_id, batch_span_id),
+                )
+        if self.telemetry:
+            self._observe_latency(SIMULATE_METRIC, simulate_s)
+        return items
 
     def _simulate(
         self, request: RunRequest, ctx: Optional[RequestContext] = None
